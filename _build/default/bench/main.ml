@@ -1,0 +1,154 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Regenerates every table and figure of the paper's evaluation at
+      bench scale (reduced inputs/contexts so the whole harness finishes
+      in minutes; `dune exec bin/paper.exe` runs the full-scale version)
+      — these are the rows/series the paper reports.
+
+   2. One Bechamel micro-benchmark per table/figure, timing the
+      simulator codepath that experiment exercises. *)
+
+open Bechamel
+open Toolkit
+
+let bench_cfg =
+  {
+    Analysis.Experiments.default_cfg with
+    Analysis.Experiments.n_contexts = 8;
+    scale = 0.1;
+    dnc_factor = 20;
+  }
+
+let micro_cfg =
+  {
+    Analysis.Experiments.default_cfg with
+    Analysis.Experiments.n_contexts = 4;
+    scale = 0.03;
+    dnc_factor = 25;
+  }
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's rows/series at bench scale                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_experiments () =
+  Format.fprintf ppf
+    "=== GPRS paper evaluation (bench scale: %d contexts, scale %.2f) ===@.@."
+    bench_cfg.Analysis.Experiments.n_contexts bench_cfg.Analysis.Experiments.scale;
+  Analysis.Report.render_table ppf ~title:"Table 1 — Related work (qualitative)"
+    ~header:
+      [ "Proposal"; "Recovery"; "Design"; "Chkpt."; "Rec."; "Scalable"; "Det."; "Det. cost" ]
+    (Analysis.Experiments.table1 ());
+  Format.fprintf ppf "@.";
+  Analysis.Report.render_table ppf
+    ~title:"Table 2 — Programs and their relative characteristics"
+    ~header:[ "Program"; "Comp."; "Sync."; "Crit."; "Exec(s)"; "Sub-size"; "#Subs" ]
+    (Analysis.Experiments.table2 bench_cfg);
+  Format.fprintf ppf "@.";
+  Analysis.Report.render_figure ppf (Analysis.Experiments.fig8a bench_cfg);
+  Format.fprintf ppf "@.";
+  Analysis.Report.render_figure ppf (Analysis.Experiments.fig8b bench_cfg);
+  Format.fprintf ppf "@.";
+  Analysis.Report.render_figure ppf (Analysis.Experiments.fig9 bench_cfg);
+  Format.fprintf ppf "@.";
+  Analysis.Report.render_figure ppf (Analysis.Experiments.fig10 bench_cfg);
+  Format.fprintf ppf "@.";
+  Analysis.Experiments.render_fig11 ppf
+    (Analysis.Experiments.fig11 ~contexts:[ 1; 4; 8 ]
+       { bench_cfg with Analysis.Experiments.scale = 0.08 });
+  Format.fprintf ppf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks, one per table/figure             *)
+(* ------------------------------------------------------------------ *)
+
+let spec name = Workloads.Suite.find name
+
+let t_table1 =
+  Test.make ~name:"table1:analytic-model"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Model.gprs_max_rate ~n:24 ~tr:0.5);
+         ignore
+           (Analysis.Model.cpr_checkpoint_penalty ~t:1.0 ~n:24 ~tc:0.001 ~ts:0.002)))
+
+let t_table2 =
+  Test.make ~name:"table2:gprs-run(re)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_gprs micro_cfg (spec "re")
+              ~grain:Workloads.Workload.Default)))
+
+let t_fig8a =
+  Test.make ~name:"fig8a:overheads(wordcount)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_gprs micro_cfg (spec "wordcount")
+              ~grain:Workloads.Workload.Default);
+         ignore
+           (Analysis.Experiments.run_cpr micro_cfg (spec "wordcount")
+              ~grain:Workloads.Workload.Default)))
+
+let t_fig8b =
+  Test.make ~name:"fig8b:fine-grain(canneal)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_gprs micro_cfg (spec "canneal")
+              ~grain:Workloads.Workload.Fine)))
+
+let t_fig9 =
+  Test.make ~name:"fig9:oversubscription(swaptions)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_pthreads micro_cfg (spec "swaptions")
+              ~grain:Workloads.Workload.Fine);
+         ignore
+           (Analysis.Experiments.run_gprs micro_cfg (spec "swaptions")
+              ~grain:Workloads.Workload.Fine)))
+
+let t_fig10 =
+  Test.make ~name:"fig10:recovery(histogram,faults)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_gprs ~rate:100.0 micro_cfg (spec "histogram")
+              ~grain:Workloads.Workload.Default)))
+
+let t_fig11 =
+  Test.make ~name:"fig11:tipping(pbzip2,faults)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_gprs ~rate:60.0 micro_cfg (spec "pbzip2")
+              ~grain:Workloads.Workload.Default)))
+
+let tests =
+  [ t_table1; t_table2; t_fig8a; t_fig8b; t_fig9; t_fig10; t_fig11 ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:true ()
+  in
+  Format.fprintf ppf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Format.fprintf ppf "%-36s %12.0f ns/run@." name est
+          | Some _ | None -> Format.fprintf ppf "%-36s (no estimate)@." name)
+        analyzed)
+    tests;
+  Format.fprintf ppf "@."
+
+let () =
+  print_experiments ();
+  run_micro ()

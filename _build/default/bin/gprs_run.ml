@@ -1,0 +1,98 @@
+(* Run one workload under one engine with optional exception injection.
+
+   Usage: gprs_run -w pbzip2 -e gprs --rate 4.0 --contexts 24 *)
+
+open Cmdliner
+
+let run workload engine contexts scale seed rate grain ordering interval
+    show_stats =
+  let spec = Workloads.Suite.find workload in
+  let grain =
+    match grain with
+    | "fine" -> Workloads.Workload.Fine
+    | _ -> Workloads.Workload.Default
+  in
+  let program = spec.Workloads.Workload.build ~n_contexts:contexts ~grain ~scale in
+  let result =
+    match engine with
+    | "pthreads" ->
+      Exec.Baseline.run
+        { Exec.Baseline.default_config with n_contexts = contexts; seed }
+        program
+    | "cpr" ->
+      Cpr.run
+        {
+          Cpr.default_config with
+          n_contexts = contexts;
+          seed;
+          checkpoint_interval = interval;
+          injector = Faults.Injector.config ~seed rate;
+        }
+        program
+    | "gprs" ->
+      let ordering =
+        match ordering with
+        | "round-robin" -> Gprs.Order.Round_robin
+        | "weighted" -> Gprs.Order.Weighted
+        | "recorded" -> Gprs.Order.Recorded
+        | _ -> Gprs.Order.Balance_aware
+      in
+      Gprs.Engine.run
+        {
+          Gprs.Engine.default_config with
+          n_contexts = contexts;
+          seed;
+          ordering;
+          injector = Faults.Injector.config ~seed rate;
+        }
+        program
+    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  in
+  Format.printf "workload   : %s (%s)@." workload spec.Workloads.Workload.pattern;
+  Format.printf "engine     : %s, %d contexts, seed %d@." engine contexts seed;
+  Format.printf "exceptions : %.2f/s@." rate;
+  Format.printf "completed  : %b%s@."
+    (not result.Exec.State.dnc)
+    (if result.Exec.State.dnc then " (DNC)" else "");
+  Format.printf "sim time   : %d cycles = %.4f s@." result.Exec.State.sim_cycles
+    result.Exec.State.sim_seconds;
+  Format.printf "digest     : %s@." (spec.Workloads.Workload.digest result);
+  if show_stats then Format.printf "%a@." Sim.Stats.pp result.Exec.State.run_stats
+
+let workload =
+  let doc =
+    Printf.sprintf "Workload: %s." (String.concat ", " Workloads.Suite.names)
+  in
+  Arg.(value & opt string "pbzip2" & info [ "w"; "workload" ] ~doc)
+
+let engine =
+  let doc = "Engine: pthreads, cpr, or gprs." in
+  Arg.(value & opt string "gprs" & info [ "e"; "engine" ] ~doc)
+
+let contexts = Arg.(value & opt int 24 & info [ "contexts"; "n" ] ~doc:"Hardware contexts.")
+let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Input scale.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+let rate = Arg.(value & opt float 0.0 & info [ "rate" ] ~doc:"Exceptions per second.")
+let grain = Arg.(value & opt string "default" & info [ "grain" ] ~doc:"default or fine.")
+
+let ordering =
+  Arg.(value & opt string "balance-aware"
+       & info [ "ordering" ]
+           ~doc:
+             "GPRS ordering: round-robin, balance-aware, weighted, or recorded \
+              (nondeterministic; dynamic order recorded for selective restart).")
+
+let interval =
+  Arg.(value & opt float 0.05 & info [ "interval" ] ~doc:"CPR checkpoint interval (s).")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.")
+
+let cmd =
+  let doc = "run one workload under pthreads / CPR / GPRS on the simulated machine" in
+  Cmd.v
+    (Cmd.info "gprs_run" ~doc)
+    Term.(
+      const run $ workload $ engine $ contexts $ scale $ seed $ rate $ grain
+      $ ordering $ interval $ stats)
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,0 +1,42 @@
+(* The paper's running example (§3.2, Fig. 6/7): a Pbzip2-style pipeline
+   whose parallelism a naive round-robin deterministic order destroys,
+   and which the balance-aware and weighted schedules restore.
+
+   dune exec examples/pipeline_compression.exe *)
+
+let () =
+  let spec = Workloads.Suite.find "pbzip2" in
+  let contexts = 8 in
+  let program =
+    spec.Workloads.Workload.build ~n_contexts:contexts
+      ~grain:Workloads.Workload.Default ~scale:0.4
+  in
+  let baseline =
+    Exec.Baseline.run
+      { Exec.Baseline.default_config with n_contexts = contexts }
+      program
+  in
+  let gprs ordering =
+    Gprs.Engine.run
+      { Gprs.Engine.default_config with n_contexts = contexts; ordering }
+      program
+  in
+  let show name (r : Exec.State.run_result) =
+    Format.printf "%-28s %10d cycles  (%.2fx)  digest=%s@." name
+      r.Exec.State.sim_cycles
+      (float_of_int r.Exec.State.sim_cycles
+      /. float_of_int baseline.Exec.State.sim_cycles)
+      (spec.Workloads.Workload.digest r)
+  in
+  Format.printf
+    "Pbzip2 pipeline: 1 reader -> %d compressors -> 1 writer, %d contexts@.@."
+    (contexts - 2) contexts;
+  show "Pthreads (no recovery)" baseline;
+  show "GPRS, round-robin order" (gprs Gprs.Order.Round_robin);
+  show "GPRS, balance-aware order" (gprs Gprs.Order.Balance_aware);
+  show "GPRS, weighted order (4:4:1)" (gprs Gprs.Order.Weighted);
+  Format.printf
+    "@.Round-robin regiments the FIFO turns and starves the compressors@.";
+  Format.printf
+    "(the paper measures 1014%% overhead); the balance-aware schedule@.";
+  Format.printf "restores the pipeline structure. All digests agree.@."

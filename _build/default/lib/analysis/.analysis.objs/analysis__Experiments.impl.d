@@ -1,0 +1,1 @@
+lib/analysis/experiments.ml: Array Cpr Exec Faults Format Gprs Hashtbl List Model Printf Report Sim Stdlib String Vm Workloads

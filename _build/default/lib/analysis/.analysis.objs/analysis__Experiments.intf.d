@@ -1,0 +1,1 @@
+lib/analysis/experiments.mli: Exec Format Gprs Report Vm Workloads

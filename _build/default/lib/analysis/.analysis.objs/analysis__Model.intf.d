@@ -1,0 +1,1 @@
+lib/analysis/model.mli:

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Float Format List Printf Stdlib String

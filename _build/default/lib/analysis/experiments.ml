@@ -1,0 +1,603 @@
+type cfg = { n_contexts : int; scale : float; seed : int; dnc_factor : int }
+
+let default_cfg = { n_contexts = 24; scale = 1.0; seed = 1; dnc_factor = 30 }
+
+(* ------------------------------------------------------------------ *)
+(* Engine front-ends                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build cfg (spec : Workloads.Workload.spec) ~grain =
+  spec.Workloads.Workload.build ~n_contexts:cfg.n_contexts ~grain ~scale:cfg.scale
+
+let run_pthreads cfg spec ~grain =
+  Exec.Baseline.run
+    {
+      Exec.Baseline.default_config with
+      n_contexts = cfg.n_contexts;
+      seed = cfg.seed;
+    }
+    (build cfg spec ~grain)
+
+let run_gprs ?(ordering = Gprs.Order.Balance_aware) ?(costs = Vm.Costs.default)
+    ?(rate = 0.0) ?(recovery = Gprs.Engine.Selective) ?max_cycles cfg spec
+    ~grain =
+  Gprs.Engine.run
+    {
+      Gprs.Engine.default_config with
+      n_contexts = cfg.n_contexts;
+      seed = cfg.seed;
+      ordering;
+      recovery;
+      costs;
+      injector = Faults.Injector.config ~seed:cfg.seed rate;
+      max_cycles;
+    }
+    (build cfg spec ~grain)
+
+let baseline_cache : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let baseline_cycles cfg spec ~grain =
+  let key =
+    Printf.sprintf "%s/%d/%f/%d/%s" spec.Workloads.Workload.name cfg.n_contexts cfg.scale
+      cfg.seed
+      (match grain with Workloads.Workload.Default -> "d" | Workloads.Workload.Fine -> "f")
+  in
+  match Hashtbl.find_opt baseline_cache key with
+  | Some c -> c
+  | None ->
+    let r = run_pthreads cfg spec ~grain:Workloads.Workload.Default in
+    Hashtbl.replace baseline_cache key r.Exec.State.sim_cycles;
+    r.Exec.State.sim_cycles
+
+let run_cpr ?interval ?(rate = 0.0) ?max_cycles cfg spec ~grain =
+  let interval =
+    match interval with
+    | Some i -> i
+    | None ->
+      let base = baseline_cycles cfg spec ~grain in
+      Sim.Time.to_seconds
+        ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second
+        (Stdlib.max 1 (base / 25))
+  in
+  Cpr.run
+    {
+      Cpr.default_config with
+      n_contexts = cfg.n_contexts;
+      seed = cfg.seed;
+      checkpoint_interval = interval;
+      injector = Faults.Injector.config ~seed:cfg.seed rate;
+      max_cycles;
+    }
+    (build cfg spec ~grain)
+
+let costs_order_only =
+  {
+    Vm.Costs.default with
+    Vm.Costs.reg_checkpoint = 0;
+    cow_first_write = 0;
+    rol_insert = 0;
+    rol_retire = 0;
+    wal_append = 0;
+    wal_undo = 0;
+    record_per_word = 0;
+    restore_per_word = 0;
+  }
+
+let costs_order_rol =
+  {
+    Vm.Costs.default with
+    Vm.Costs.reg_checkpoint = 0;
+    cow_first_write = 0;
+    record_per_word = 0;
+    restore_per_word = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  List.map
+    (fun (r : Model.related_work_row) ->
+      [
+        r.Model.proposal;
+        r.Model.recovery;
+        r.Model.design;
+        r.Model.chkpt_cost;
+        r.Model.rec_cost;
+        r.Model.scalable;
+        r.Model.deterministic;
+        r.Model.det_cost;
+      ])
+    Model.table1
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sub_size_class mean_cycles =
+  if mean_cycles < 3_000.0 then "small"
+  else if mean_cycles < 60_000.0 then "medium"
+  else "large"
+
+let table2 cfg =
+  List.map
+    (fun (spec : Workloads.Workload.spec) ->
+      let p = run_pthreads cfg spec ~grain:Workloads.Workload.Default in
+      let g = run_gprs cfg spec ~grain:Workloads.Workload.Default in
+      let subs = Sim.Stats.get g.Exec.State.run_stats "gprs.subthreads" in
+      let mean = Sim.Stats.mean g.Exec.State.run_stats "gprs.sub_cycles" in
+      [
+        spec.Workloads.Workload.name;
+        spec.Workloads.Workload.comp_size;
+        spec.Workloads.Workload.sync_freq;
+        spec.Workloads.Workload.crit_size;
+        Printf.sprintf "%.3f" p.Exec.State.sim_seconds;
+        sub_size_class mean;
+        string_of_int subs;
+      ])
+    Workloads.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: overhead decomposition                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rel ~base (r : Exec.State.run_result) =
+  { Report.label = ""; value = float_of_int r.Exec.State.sim_cycles /. float_of_int base;
+    dnc = r.Exec.State.dnc }
+
+let with_label l b = { b with Report.label = l }
+
+let fig8 cfg ~grain ~id ~title =
+  let rows =
+    List.map
+      (fun (spec : Workloads.Workload.spec) ->
+        let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+        let budget = Some (cfg.dnc_factor * base) in
+        let g_r_or =
+          run_gprs ~ordering:Gprs.Order.Round_robin ~costs:costs_order_only
+            ?max_cycles:budget cfg spec ~grain
+        in
+        let g_b_or =
+          run_gprs ~costs:costs_order_only ?max_cycles:budget cfg spec ~grain
+        in
+        let g_b_rol =
+          run_gprs ~costs:costs_order_rol ?max_cycles:budget cfg spec ~grain
+        in
+        let p_ch = run_cpr ?max_cycles:budget cfg spec ~grain in
+        let g_b_ch = run_gprs ?max_cycles:budget cfg spec ~grain in
+        {
+          Report.row_name = spec.Workloads.Workload.name;
+          bars =
+            [
+              with_label "G-R-OR" (rel ~base g_r_or);
+              with_label "G-B-OR" (rel ~base g_b_or);
+              with_label "G-B-ROL" (rel ~base g_b_rol);
+              with_label "P-/-CH" (rel ~base p_ch);
+              with_label "G-B-CH" (rel ~base g_b_ch);
+            ];
+        })
+      Workloads.Suite.all
+  in
+  {
+    Report.id;
+    title;
+    rows;
+    notes =
+      [
+        "times relative to the 24-context Pthreads baseline (1.00)";
+        "OR = ordering; ROL = +reorder-list mgmt; CH = +checkpointing";
+      ];
+  }
+
+let fig8a cfg =
+  fig8 cfg ~grain:Workloads.Workload.Default ~id:"Fig. 8a"
+    ~title:"GPRS overheads, default computation sizes"
+
+let fig8b cfg =
+  fig8 cfg ~grain:Workloads.Workload.Fine ~id:"Fig. 8b"
+    ~title:"GPRS overheads, finer-grained computations"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: fine-grained Pthreads vs GPRS                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_programs = [ "barnes-hut"; "blackscholes"; "swaptions"; "canneal" ]
+
+let fig9 cfg =
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Workloads.Suite.find name in
+        let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+        let budget = Some (cfg.dnc_factor * base) in
+        let p_fine =
+          Exec.Baseline.run
+            {
+              Exec.Baseline.default_config with
+              n_contexts = cfg.n_contexts;
+              seed = cfg.seed;
+              max_cycles = budget;
+            }
+            (build cfg spec ~grain:Workloads.Workload.Fine)
+        in
+        let g_fine = run_gprs ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Fine in
+        {
+          Report.row_name = name;
+          bars =
+            [
+              with_label "P-fine" (rel ~base p_fine);
+              with_label "G-fine" (rel ~base g_fine);
+            ];
+        })
+      fig9_programs
+  in
+  {
+    Report.id = "Fig. 9";
+    title = "Pthreads and GPRS with finer-grained computations";
+    rows;
+    notes = [ "relative to default-grain Pthreads; DNC = did not complete" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: recovery at low/high exception rates                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Expected exceptions per run (low, high); ratios follow the paper's
+   per-program rate pairs, absolute counts rescaled to our run lengths. *)
+let fig10_exceptions = function
+  | "barnes-hut" | "blackscholes" -> (6.0, 30.0)
+  | "canneal" | "histogram" | "dedup" | "reverse-index" -> (8.0, 16.0)
+  | "swaptions" -> (2.0, 3.3)
+  | "pbzip2" -> (8.0, 16.0)
+  | "re" -> (8.0, 16.0)
+  | "wordcount" -> (6.0, 18.0)
+  | _ -> (6.0, 12.0)
+
+let fig10 cfg =
+  let rows =
+    List.map
+      (fun (spec : Workloads.Workload.spec) ->
+        let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+        let budget = Some (cfg.dnc_factor * base) in
+        let base_s =
+          Sim.Time.to_seconds
+            ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+        in
+        let k_low, k_high = fig10_exceptions spec.Workloads.Workload.name in
+        let rate_low = k_low /. base_s and rate_high = k_high /. base_s in
+        let cpr_l = run_cpr ~rate:rate_low ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Default in
+        let gprs_l = run_gprs ~rate:rate_low ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Default in
+        let cpr_h = run_cpr ~rate:rate_high ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Default in
+        let gprs_h = run_gprs ~rate:rate_high ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Default in
+        {
+          Report.row_name =
+            Printf.sprintf "%s (%.1f/s, %.1f/s)" spec.Workloads.Workload.name rate_low
+              rate_high;
+          bars =
+            [
+              with_label "P-CPR-L" (rel ~base cpr_l);
+              with_label "GPRS-L" (rel ~base gprs_l);
+              with_label "P-CPR-H" (rel ~base cpr_h);
+              with_label "GPRS-H" (rel ~base gprs_h);
+            ];
+        })
+      Workloads.Suite.all
+  in
+  {
+    Report.id = "Fig. 10";
+    title = "Recovery at low/high exception rates";
+    rows;
+    notes = [ "row label lists the injected low/high rates (exceptions/sec)" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: Pbzip2 exception-tolerance sweep                           *)
+(* ------------------------------------------------------------------ *)
+
+type fig11_result = {
+  contexts : int list;
+  rates : float list;
+  cpr_times : (int * (float * float option) list) list;
+  gprs_times : (int * (float * float option) list) list;
+  tipping : (int * float option * float option) list;
+}
+
+let fig11 ?rates ?(contexts = [ 1; 2; 4; 8; 16; 24 ]) cfg =
+  let spec = Workloads.Suite.find "pbzip2" in
+  let series engine_run ctxs =
+    List.map
+      (fun n ->
+        let cfg_n = { cfg with n_contexts = n } in
+        let base = baseline_cycles cfg_n spec ~grain:Workloads.Workload.Default in
+        let base_s =
+          Sim.Time.to_seconds
+            ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+        in
+        let rates =
+          match rates with
+          | Some r -> r
+          | None ->
+            (* geometric ladder, in units of exceptions per baseline run *)
+            List.map (fun k -> k /. base_s) [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]
+        in
+        let budget = Some (cfg.dnc_factor * base) in
+        let points =
+          List.map
+            (fun rate ->
+              let r : Exec.State.run_result = engine_run cfg_n ~rate ~budget in
+              ( rate,
+                if r.Exec.State.dnc then None
+                else
+                  Some
+                    (float_of_int r.Exec.State.sim_cycles /. float_of_int base) ))
+            rates
+        in
+        (n, points))
+      ctxs
+  in
+  let cpr_times =
+    series
+      (fun cfg_n ~rate ~budget ->
+        run_cpr ~rate ?max_cycles:budget cfg_n spec ~grain:Workloads.Workload.Default)
+      contexts
+  in
+  let gprs_times =
+    series
+      (fun cfg_n ~rate ~budget ->
+        run_gprs ~rate ?max_cycles:budget cfg_n spec ~grain:Workloads.Workload.Default)
+      contexts
+  in
+  let tip points =
+    List.fold_left
+      (fun acc (rate, t) -> match t with Some _ -> Some rate | None -> acc)
+      None points
+  in
+  let tipping =
+    List.map
+      (fun n ->
+        let c = List.assoc n cpr_times and g = List.assoc n gprs_times in
+        (n, tip c, tip g))
+      contexts
+  in
+  let rates_used =
+    match cpr_times with (_, pts) :: _ -> List.map fst pts | [] -> []
+  in
+  { contexts; rates = rates_used; cpr_times; gprs_times; tipping }
+
+let render_series ppf ~name series =
+  List.iter
+    (fun (n, points) ->
+      Format.fprintf ppf "%s n=%-2d :" name n;
+      List.iter
+        (fun (rate, t) ->
+          match t with
+          | Some v -> Format.fprintf ppf "  %.2f/s=%.2f" rate v
+          | None -> Format.fprintf ppf "  %.2f/s=DNC" rate)
+        points;
+      Format.fprintf ppf "@.")
+    series
+
+let render_fig11 ppf r =
+  Format.fprintf ppf "Fig. 11 — Pbzip2 exception tolerance, 1..24 contexts@.";
+  Format.fprintf ppf "(entries: exception rate = relative execution time)@.";
+  render_series ppf ~name:"P-CPR" r.cpr_times;
+  render_series ppf ~name:"GPRS " r.gprs_times;
+  Format.fprintf ppf "Tipping rates (highest completing rate, exceptions/sec):@.";
+  let fmt_tip = function
+    | Some rate -> Printf.sprintf "%.2f" rate
+    | None -> "<min"
+  in
+  List.iter
+    (fun (n, c, g) ->
+      Format.fprintf ppf "  contexts=%-2d  P-CPR=%-8s GPRS=%s@." n (fmt_tip c)
+        (fmt_tip g))
+    r.tipping
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_ordering cfg =
+  let programs = [ "pbzip2"; "dedup"; "re" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let spec = Workloads.Suite.find name in
+        let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+        let budget = Some (cfg.dnc_factor * base) in
+        let base_s =
+          Sim.Time.to_seconds
+            ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+        in
+        let run ?rate ordering =
+          run_gprs ~ordering ?rate ?max_cycles:budget cfg spec
+            ~grain:Workloads.Workload.Default
+        in
+        let bars ?rate () =
+          [
+            with_label "RR" (rel ~base (run ?rate Gprs.Order.Round_robin));
+            with_label "BA" (rel ~base (run ?rate Gprs.Order.Balance_aware));
+            with_label "WT" (rel ~base (run ?rate Gprs.Order.Weighted));
+            with_label "REC" (rel ~base (run ?rate Gprs.Order.Recorded));
+          ]
+        in
+        [
+          { Report.row_name = name ^ " (fault-free)"; bars = bars () };
+          {
+            Report.row_name = name ^ " (with exceptions)";
+            bars = bars ~rate:(6.0 /. base_s) ();
+          };
+        ])
+      programs
+  in
+  {
+    Report.id = "Ablation A";
+    title = "Ordering schemes: round-robin / balance-aware / weighted / recorded";
+    rows;
+    notes =
+      [
+        "REC = nondeterministic recorded order (the paper's §2.4 alternative)";
+        "exception rows inject ~6 exceptions per fault-free run length";
+      ];
+  }
+
+let ablation_latency cfg =
+  let spec = Workloads.Suite.find "pbzip2" in
+  let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+  let base_s =
+    Sim.Time.to_seconds
+      ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+  in
+  let rate = 6.0 /. base_s in
+  List.map
+    (fun latency ->
+      let costs = { Vm.Costs.default with Vm.Costs.detection_latency = latency } in
+      let r =
+        Gprs.Engine.run
+          {
+            Gprs.Engine.default_config with
+            n_contexts = cfg.n_contexts;
+            seed = cfg.seed;
+            costs;
+            injector =
+              Faults.Injector.config ~seed:cfg.seed ~detection_latency:latency rate;
+            max_cycles = Some (cfg.dnc_factor * base);
+          }
+          (build cfg spec ~grain:Workloads.Workload.Default)
+      in
+      [
+        string_of_int latency;
+        (if r.Exec.State.dnc then "DNC"
+         else
+           Printf.sprintf "%.2f"
+             (float_of_int r.Exec.State.sim_cycles /. float_of_int base));
+        string_of_int (Sim.Stats.get r.Exec.State.run_stats "gprs.rol_depth");
+        string_of_int (Sim.Stats.get r.Exec.State.run_stats "wal.high_water");
+        string_of_int (Sim.Stats.get r.Exec.State.run_stats "gprs.squashed_subs");
+      ])
+    [ 1_000; 10_000; 40_000; 100_000; 400_000 ]
+
+let ablation_recovery cfg =
+  let rows =
+    List.map
+      (fun (spec : Workloads.Workload.spec) ->
+        let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+        let budget = Some (cfg.dnc_factor * base) in
+        let base_s =
+          Sim.Time.to_seconds
+            ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+        in
+        let rate = 6.0 /. base_s in
+        let sel =
+          run_gprs ~rate ?max_cycles:budget cfg spec ~grain:Workloads.Workload.Default
+        in
+        let bas =
+          run_gprs ~rate ~recovery:Gprs.Engine.Basic ?max_cycles:budget cfg spec
+            ~grain:Workloads.Workload.Default
+        in
+        {
+          Report.row_name = spec.Workloads.Workload.name;
+          bars =
+            [
+              with_label "Selective" (rel ~base sel);
+              with_label "Basic" (rel ~base bas);
+            ];
+        })
+      Workloads.Suite.all
+  in
+  {
+    Report.id = "Ablation B";
+    title = "Selective restart vs basic recovery under exceptions";
+    rows;
+    notes = [ "~6 exceptions per fault-free run length" ];
+  }
+
+let tune_weights cfg (spec : Workloads.Workload.spec) =
+  let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+  let program = build cfg spec ~grain:Workloads.Workload.Default in
+  let n_groups = program.Vm.Isa.n_groups in
+  let candidates =
+    (* uniform plus front-loaded pipelines of varying steepness *)
+    [ Array.make n_groups 1 ]
+    @ List.filter_map
+        (fun profile ->
+          if List.length profile >= n_groups then
+            Some (Array.of_list (List.filteri (fun i _ -> i < n_groups) profile))
+          else None)
+        [
+          [ 2; 1; 1; 1; 1 ];
+          [ 2; 2; 1; 1; 1 ];
+          [ 4; 2; 1; 1; 1 ];
+          [ 4; 4; 1; 1; 1 ];
+          [ 8; 4; 2; 1; 1 ];
+          [ 1; 2; 2; 2; 1 ];
+          [ 2; 2; 2; 2; 1 ];
+        ]
+  in
+  let timed =
+    List.map
+      (fun weights ->
+        let p = { program with Vm.Isa.group_weights = weights } in
+        let r =
+          Gprs.Engine.run
+            {
+              Gprs.Engine.default_config with
+              n_contexts = cfg.n_contexts;
+              seed = cfg.seed;
+              ordering = Gprs.Order.Weighted;
+              max_cycles = Some (cfg.dnc_factor * base);
+            }
+            p
+        in
+        (weights, float_of_int r.Exec.State.sim_cycles /. float_of_int base))
+      candidates
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) timed
+
+let render_weights ppf (spec : Workloads.Workload.spec) results =
+  Format.fprintf ppf "Weighted-schedule search for %s (relative time, best first):@."
+    spec.Workloads.Workload.name;
+  List.iter
+    (fun (weights, t) ->
+      Format.fprintf ppf "  %-16s %.3f@."
+        (String.concat ":" (Array.to_list (Array.map string_of_int weights)))
+        t)
+    results
+
+(* The §2.3 trade-off: shrinking the checkpoint interval cuts the restart
+   penalty but inflates the checkpoint penalty. Swept on one workload
+   under a fixed exception rate. *)
+let ablation_interval cfg =
+  let spec = Workloads.Suite.find "re" in
+  let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
+  let base_s =
+    Sim.Time.to_seconds
+      ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+  in
+  let rate = 6.0 /. base_s in
+  List.map
+    (fun divisor ->
+      let interval = base_s /. float_of_int divisor in
+      let faulty =
+        run_cpr ~interval ~rate ~max_cycles:(cfg.dnc_factor * base) cfg spec
+          ~grain:Workloads.Workload.Default
+      in
+      let clean =
+        run_cpr ~interval ~max_cycles:(cfg.dnc_factor * base) cfg spec
+          ~grain:Workloads.Workload.Default
+      in
+      let fmt (r : Exec.State.run_result) =
+        if r.Exec.State.dnc then "DNC"
+        else
+          Printf.sprintf "%.2f"
+            (float_of_int r.Exec.State.sim_cycles /. float_of_int base)
+      in
+      [
+        Printf.sprintf "1/%d run" divisor;
+        fmt clean;
+        fmt faulty;
+        string_of_int (Sim.Stats.get faulty.Exec.State.run_stats "cpr.checkpoints");
+        string_of_int (Sim.Stats.get faulty.Exec.State.run_stats "cpr.rollbacks");
+      ])
+    [ 2; 5; 10; 25; 50; 100 ]

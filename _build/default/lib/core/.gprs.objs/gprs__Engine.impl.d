@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Exec Faults Format Fun Hashtbl Int List Option Order Printf Rol Sched Set Sim Stdlib Subthread Sys Vm Wal

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Exec Faults Order Vm

@@ -1,0 +1,1 @@
+lib/core/rol.ml: Hashtbl Int List Set Subthread

@@ -1,0 +1,1 @@
+lib/core/rol.mli: Subthread

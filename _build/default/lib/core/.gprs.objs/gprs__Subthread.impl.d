@@ -1,0 +1,1 @@
+lib/core/subthread.ml: Exec Format List Printf Vm

@@ -1,0 +1,1 @@
+lib/core/subthread.mli: Exec Format Vm

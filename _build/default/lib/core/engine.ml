@@ -1,0 +1,1114 @@
+type recovery = Selective | Basic
+
+type config = {
+  n_contexts : int;
+  seed : int;
+  max_cycles : int option;
+  ordering : Order.scheme;
+  recovery : recovery;
+  injector : Faults.Injector.config;
+  livelock_squashes : int;
+  costs : Vm.Costs.t;
+  revoke_contexts : bool;
+      (** treat [Resource_revocation] exceptions as permanent: the struck
+          context is retired from service and the program continues on
+          the remaining ones (§3.5's fatal-exception extension) *)
+}
+
+let default_config =
+  {
+    n_contexts = 24;
+    seed = 1;
+    max_cycles = None;
+    ordering = Order.Balance_aware;
+    recovery = Selective;
+    injector = Faults.Injector.default_config;
+    livelock_squashes = 100_000;
+    costs = Vm.Costs.default;
+    revoke_contexts = false;
+  }
+
+type victim = V_sub of int | V_runtime
+
+type event =
+  | Tick of int
+  | Retire_check
+  | Fault_occur of { ctx : int; kind : Faults.Injector.kind }
+  | Fault_report of { victim : victim; ctx : int; kind : Faults.Injector.kind }
+  | Recovery_done
+
+type eng = {
+  cfg : config;
+  st : event Exec.State.t;
+  sched : Sched.Scheduler.t;
+  ctx_of : int option array;
+  tick_handle : Sim.Event_queue.handle option array;
+  busy_until : int array;
+  dead_ctx : bool array;  (* permanently revoked contexts *)
+  order : Order.t;
+  rol : Rol.t;
+  wal : Wal.t;
+  mutable next_sub_id : int;
+  cur_sub : (int, Subthread.t) Hashtbl.t;  (* tid -> current sub-thread *)
+  pending_delay : (int, int) Hashtbl.t;  (* tid -> cycles owed at next dispatch *)
+  queued : (int, unit) Hashtbl.t;
+  destroyed : (int, unit) Hashtbl.t;  (* tids removed by recovery *)
+  mutable recovering : bool;
+  mutable restart_pending : int list;  (* tids to release at Recovery_done *)
+  mutable interrupted : (int * int) list;  (* Basic: (ctx, busy_until) to resume *)
+  mutable pending_reports : victim list;
+  mutable squashed_since_retire : int;
+  mutable injector : Faults.Injector.t;
+  mutable grant_guard : int;  (* re-entrancy depth of try_grant *)
+}
+
+let now eng = Exec.State.now eng.st
+
+(* ------------------------------------------------------------------ *)
+(* Sub-thread bookkeeping                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cur_sub_opt eng tid = Hashtbl.find_opt eng.cur_sub tid
+
+let cur_sub eng tid =
+  match cur_sub_opt eng tid with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Gprs: thread %d has no current sub" tid)
+
+(* Cost of generating a sub-thread: token handling, generation, register
+   checkpoint, ROL insertion and the WAL appends — the paper's t_g. *)
+let boundary_cost eng =
+  let c = eng.cfg.costs in
+  c.Vm.Costs.token_pass + c.Vm.Costs.subthread_create + c.Vm.Costs.reg_checkpoint
+  + c.Vm.Costs.rol_insert + (2 * c.Vm.Costs.wal_append)
+
+let new_sub eng (tcb : Vm.Tcb.t) =
+  let id = eng.next_sub_id in
+  eng.next_sub_id <- id + 1;
+  let sub =
+    Subthread.make ~id ~tid:tcb.Vm.Tcb.tid ~now:(now eng)
+      ~saved:(Vm.Tcb.copy_state tcb)
+  in
+  (* The checkpoint may sit inside critical sections: record the held
+     mutexes so a restore re-grants them. A checkpoint taken while queued
+     for a mutex (a condvar wake-sub) records that too. *)
+  Array.iteri
+    (fun m (mu : Exec.State.mutex) ->
+      if mu.Exec.State.holder = Some tcb.Vm.Tcb.tid then
+        sub.Subthread.held_locks <- m :: sub.Subthread.held_locks)
+    eng.st.Exec.State.mutexes;
+  (match tcb.Vm.Tcb.wait with
+  | Vm.Tcb.On_mutex m -> sub.Subthread.pending_mutex <- Some m
+  | Vm.Tcb.Runnable | Vm.Tcb.On_cond _ | Vm.Tcb.Reacquire _ | Vm.Tcb.On_barrier _
+  | Vm.Tcb.On_join _ | Vm.Tcb.On_token | Vm.Tcb.Done ->
+    ());
+  Rol.insert eng.rol sub;
+  ignore (Wal.append eng.wal ~order:id (Wal.Rol_insert { sub = id }));
+  Hashtbl.replace eng.cur_sub tcb.Vm.Tcb.tid sub;
+  Sim.Stats.incr eng.st.Exec.State.stats "gprs.subthreads";
+  sub
+
+let add_delay eng tid d =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt eng.pending_delay tid) in
+  Hashtbl.replace eng.pending_delay tid (cur + d)
+
+let take_delay eng tid =
+  match Hashtbl.find_opt eng.pending_delay tid with
+  | None -> 0
+  | Some d ->
+    Hashtbl.remove eng.pending_delay tid;
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let on_ctx eng tid = Array.exists (fun o -> o = Some tid) eng.ctx_of
+
+let make_runnable eng ~ctx_hint tid =
+  let queued = Hashtbl.mem eng.queued tid
+  and on_c = on_ctx eng tid
+  and destroyed = Hashtbl.mem eng.destroyed tid in
+  Sim.Trace.recordf eng.st.Exec.State.trace (now eng)
+    "make_runnable %d queued=%b on_ctx=%b destroyed=%b" tid queued on_c destroyed;
+  if (not queued) && (not on_c) && not destroyed then begin
+    Hashtbl.add eng.queued tid ();
+    Sched.Scheduler.enqueue eng.sched ~ctx_hint tid
+  end
+
+let schedule_tick eng ctx ~after =
+  let t = now eng + Stdlib.max Exec.Sem.min_cost after in
+  eng.busy_until.(ctx) <- t;
+  eng.tick_handle.(ctx) <-
+    Some (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time:t (Tick ctx))
+
+let schedule_retire_check eng ~at =
+  ignore
+    (Sim.Event_queue.schedule eng.st.Exec.State.evq
+       ~time:(Stdlib.max at (now eng))
+       Retire_check)
+
+(* ------------------------------------------------------------------ *)
+(* Token grants: boundary processing (DEX order enforcer)              *)
+(* ------------------------------------------------------------------ *)
+
+let complete_current eng tid =
+  match cur_sub_opt eng tid with
+  | None -> ()
+  | Some sub ->
+    sub.Subthread.status <- Subthread.Complete (now eng);
+    Sim.Stats.observe eng.st.Exec.State.stats "gprs.sub_cycles"
+      (float_of_int (now eng - sub.Subthread.started_at));
+    (match Rol.min_live_id eng.rol with
+    | Some min_id when min_id = sub.Subthread.id ->
+      schedule_retire_check eng
+        ~at:(now eng + eng.cfg.costs.Vm.Costs.detection_latency + 1)
+    | Some _ | None -> ())
+
+(* Perform the synchronization operation at [tcb]'s pc on behalf of its
+   freshly created sub-thread. pc still points at the instruction. *)
+let grant eng tid =
+  let st = eng.st in
+  let tcb = Exec.State.thread st tid in
+  Sim.Stats.incr st.Exec.State.stats "gprs.tokens";
+  complete_current eng tid;
+  let instr =
+    match Vm.Tcb.current_instr tcb with None -> Vm.Isa.Exit | Some i -> i
+  in
+  Sim.Trace.recordf st.Exec.State.trace (now eng) "grant %d %s pc=%d" tid
+    (Vm.Isa.instr_name instr) tcb.Vm.Tcb.pc;
+  (match instr with
+  | Vm.Isa.Exit -> ()
+  | _ ->
+    let sub = new_sub eng tcb in
+    st.Exec.State.current_undo <- Some sub.Subthread.undo;
+    add_delay eng tid (boundary_cost eng);
+    tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1);
+  tcb.Vm.Tcb.wait <- Vm.Tcb.Runnable;
+  let resume ?(also = []) () =
+    make_runnable eng ~ctx_hint:tid tid;
+    List.iter
+      (fun w ->
+        Order.set_eligible eng.order w true;
+        make_runnable eng ~ctx_hint:w w)
+      also
+  in
+  (match instr with
+  | Vm.Isa.Lock { m } ->
+    let m = m tcb.Vm.Tcb.regs in
+    let sub = cur_sub eng tid in
+    Subthread.add_alias sub (Subthread.Mutex m);
+    let acquired, d = Exec.Sem.try_lock st tcb m in
+    add_delay eng tid d;
+    if acquired then begin
+      tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth + 1;
+      resume ()
+    end
+    else
+      (* Queued on the mutex in token order; the unlock hands it over (no
+         further turn needed). Until then the thread passes its turns —
+         the token must not wait on it, since the holder may itself need
+         a turn to release (a cond_wait inside the critical section). *)
+      Order.set_eligible eng.order tid false
+  | Vm.Isa.Barrier { b } ->
+    Subthread.add_alias (cur_sub eng tid) (Subthread.Barrier_obj b);
+    let released, d = Exec.Sem.barrier_arrive st tcb b in
+    add_delay eng tid d;
+    if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then resume ~also:released ()
+    else Order.set_eligible eng.order tid false
+  | Vm.Isa.Cond_wait { c; m } ->
+    let sub = cur_sub eng tid in
+    Subthread.add_alias sub (Subthread.Condvar c);
+    Subthread.add_alias sub (Subthread.Mutex m);
+    let granted, d = Exec.Sem.cond_block st tcb ~c ~m in
+    tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth - 1;
+    add_delay eng tid d;
+    Order.set_eligible eng.order tid false;
+    (match granted with
+    | Some w ->
+      Order.set_eligible eng.order w true;
+      make_runnable eng ~ctx_hint:w w
+    | None -> ())
+  | Vm.Isa.Cond_signal { c; all } ->
+    Subthread.add_alias (cur_sub eng tid) (Subthread.Condvar c);
+    let woken, runnable, d = Exec.Sem.cond_wake st ~c ~all in
+    add_delay eng tid d;
+    (* A wake is a communication edge: the woken continuation must be
+       ordered AFTER this signal. Close each sleeper's wait-sub and open
+       a fresh one (with a current order id) at the wake point. *)
+    List.iter
+      (fun (w, m) ->
+        complete_current eng w;
+        let wt = Exec.State.thread st w in
+        let wsub = new_sub eng wt in
+        Subthread.add_alias wsub (Subthread.Condvar c);
+        Subthread.add_alias wsub (Subthread.Mutex m);
+        add_delay eng w (boundary_cost eng))
+      woken;
+    List.iter (fun w -> Order.set_eligible eng.order w true) runnable;
+    resume ~also:runnable ()
+  | Vm.Isa.Atomic { var; rmw; dst } ->
+    let v = var tcb.Vm.Tcb.regs in
+    Subthread.add_alias (cur_sub eng tid) (Subthread.Atomic_var v);
+    let d = Exec.Sem.atomic_rmw st tcb ~var:v ~rmw ~dst in
+    add_delay eng tid d;
+    resume ()
+  | Vm.Isa.Fork { group; proc; args; dst } ->
+    let child, _os_cost = Exec.Sem.fork st tcb ~group ~proc ~args ~dst in
+    let ctid = child.Vm.Tcb.tid in
+    (cur_sub eng tid).Subthread.forked <-
+      ctid :: (cur_sub eng tid).Subthread.forked;
+    ignore
+      (Wal.append eng.wal ~order:(cur_sub eng tid).Subthread.id
+         (Wal.Thread_create { tid = ctid }));
+    Order.add_thread eng.order ~tid:ctid ~group;
+    (* Under DEX a fork creates a sub-thread, not an OS thread. *)
+    let csub = new_sub eng child in
+    ignore csub;
+    add_delay eng tid (eng.cfg.costs.Vm.Costs.subthread_create);
+    add_delay eng ctid (boundary_cost eng);
+    resume ~also:[ ctid ] ()
+  | Vm.Isa.Join { tid = target } ->
+    let target = target tcb.Vm.Tcb.regs in
+    Subthread.add_alias (cur_sub eng tid) (Subthread.Thread_edge target);
+    let ready, d = Exec.Sem.join st tcb ~target in
+    add_delay eng tid d;
+    if ready then resume () else Order.set_eligible eng.order tid false
+  | Vm.Isa.Exit ->
+    (match cur_sub_opt eng tid with
+    | Some sub -> Subthread.add_alias sub (Subthread.Thread_edge tid)
+    | None -> ());
+    let joiners, _d = Exec.Sem.exit_thread st tcb in
+    List.iter
+      (fun j ->
+        Order.set_eligible eng.order j true;
+        make_runnable eng ~ctx_hint:j j)
+      joiners;
+    Order.remove_thread eng.order tid
+  | Vm.Isa.Work _ | Vm.Isa.Opaque _ | Vm.Isa.Goto _ | Vm.Isa.If _
+  | Vm.Isa.Unlock _ | Vm.Isa.Nonstd_atomic _ | Vm.Isa.Alloc _ | Vm.Isa.Free _
+  | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
+    invalid_arg "Gprs.grant: not a synchronization point");
+  (* Only communication operations consume a rotation turn; fork/join/
+     exit boundaries are processed on arrival and must not steal turns
+     from the threads the rotation is balancing. *)
+  match instr with
+  | Vm.Isa.Lock _ | Vm.Isa.Barrier _ | Vm.Isa.Cond_wait _ | Vm.Isa.Cond_signal _
+  | Vm.Isa.Atomic _ ->
+    Order.advance eng.order ~granted:tid
+  | Vm.Isa.Fork _ | Vm.Isa.Join _ | Vm.Isa.Exit | Vm.Isa.Work _ | Vm.Isa.Opaque _
+  | Vm.Isa.Goto _ | Vm.Isa.If _ | Vm.Isa.Unlock _ | Vm.Isa.Nonstd_atomic _
+  | Vm.Isa.Alloc _ | Vm.Isa.Free _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
+    ()
+
+(* Grant every turn that can be taken right now. Filling contexts can park
+   further threads at sync points (their nested [try_grant] calls are
+   guarded no-ops), so alternate granting and filling until neither makes
+   progress. *)
+let rec try_grant eng =
+  if eng.grant_guard = 0 then begin
+    eng.grant_guard <- 1;
+    let holder_parked () =
+      match Order.holder eng.order with
+      | Some tid -> (Exec.State.thread eng.st tid).Vm.Tcb.wait = Vm.Tcb.On_token
+      | None -> false
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      while holder_parked () do
+        grant eng (Option.get (Order.holder eng.order))
+      done;
+      fill_all eng;
+      if holder_parked () then progress := true
+    done;
+    eng.grant_guard <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch (non-preemptive work-stealing pool)                        *)
+(* ------------------------------------------------------------------ *)
+
+and dispatch eng ctx (tcb : Vm.Tcb.t) =
+  let st = eng.st in
+  let tid = tcb.Vm.Tcb.tid in
+  (match cur_sub_opt eng tid with
+  | Some sub -> st.Exec.State.current_undo <- Some sub.Subthread.undo
+  | None -> st.Exec.State.current_undo <- None);
+  let ctrl = ref 0 in
+  let rec fetch () =
+    match Vm.Tcb.current_instr tcb with
+    | None -> Vm.Isa.Exit
+    | Some (Vm.Isa.Goto target) ->
+      tcb.Vm.Tcb.pc <- target;
+      incr ctrl;
+      fetch ()
+    | Some (Vm.Isa.If { cond; target }) ->
+      tcb.Vm.Tcb.pc <-
+        (if cond tcb.Vm.Tcb.regs then target else tcb.Vm.Tcb.pc + 1);
+      incr ctrl;
+      fetch ()
+    | Some Vm.Isa.Cpr_begin ->
+      tcb.Vm.Tcb.in_cpr_region <- true;
+      (match cur_sub_opt eng tid with
+      | Some sub -> sub.Subthread.cpr_region <- true
+      | None -> ());
+      tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1;
+      incr ctrl;
+      fetch ()
+    | Some Vm.Isa.Cpr_end ->
+      tcb.Vm.Tcb.in_cpr_region <- false;
+      tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1;
+      incr ctrl;
+      fetch ()
+    | Some i -> i
+  in
+  let instr = fetch () in
+  Sim.Stats.incr st.Exec.State.stats "instrs";
+  (* A restarted thread may resume without a current sub-thread; create
+     one lazily so its writes stay squashable. *)
+  let ensure_sub () =
+    if cur_sub_opt eng tid = None then begin
+      let sub = new_sub eng tcb in
+      st.Exec.State.current_undo <- Some sub.Subthread.undo;
+      add_delay eng tid (boundary_cost eng - eng.cfg.costs.Vm.Costs.token_pass);
+      Sim.Stats.incr st.Exec.State.stats "gprs.restart_subs"
+    end
+  in
+  (* Interception is suppressed inside critical sections (nested-lock
+     flattening) and inside hybrid-recovery regions. *)
+  let suppressed = tcb.Vm.Tcb.lock_depth > 0 || tcb.Vm.Tcb.in_cpr_region in
+  let completed_episode_skip =
+    match instr with
+    | Vm.Isa.Barrier { b } ->
+      tcb.Vm.Tcb.barrier_seq.(b) < tcb.Vm.Tcb.barrier_done.(b)
+    | _ -> false
+  in
+  if completed_episode_skip then begin
+    (* Re-executed arrival for an episode that already released: passing
+       through is the only consistent continuation (the other parties
+       have retired past it). *)
+    let b = match instr with Vm.Isa.Barrier { b } -> b | _ -> assert false in
+    ensure_sub ();
+    tcb.Vm.Tcb.barrier_seq.(b) <- tcb.Vm.Tcb.barrier_seq.(b) + 1;
+    tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1;
+    Sim.Stats.incr st.Exec.State.stats "gprs.barrier_skips";
+    schedule_tick eng ctx
+      ~after:(!ctrl + eng.cfg.costs.Vm.Costs.barrier_entry + take_delay eng tid)
+  end
+  else if Vm.Isa.is_sync_point instr && not suppressed then begin
+    (* Sub-thread boundary: park for the deterministic turn. *)
+    tcb.Vm.Tcb.wait <- Vm.Tcb.On_token;
+    eng.ctx_of.(ctx) <- None;
+    eng.tick_handle.(ctx) <- None;
+    Sim.Stats.incr st.Exec.State.stats "gprs.sync_parks";
+    Sim.Trace.recordf st.Exec.State.trace (now eng) "park %d %s pc=%d" tid
+      (Vm.Isa.instr_name instr) tcb.Vm.Tcb.pc;
+    (* Fork, join and exit are sub-thread boundaries but not
+       communication through shared objects: their boundary is processed
+       on arrival (the fork order is the parent's program order; join and
+       exit pair through the thread edge itself), so data-parallel
+       programs incur no ordering waits — the paper's fork/join programs
+       show near-zero ordering overhead (Fig. 8a). Communication
+       operations wait for their deterministic turn, except under the
+       recorded (nondeterministic) scheme, where arrival order is the
+       recorded order. *)
+    let immediate =
+      match instr with
+      | Vm.Isa.Fork _ | Vm.Isa.Join _ | Vm.Isa.Exit -> true
+      | Vm.Isa.Lock _ | Vm.Isa.Barrier _ | Vm.Isa.Cond_wait _
+      | Vm.Isa.Cond_signal _ | Vm.Isa.Atomic _ ->
+        Order.scheme eng.order = Order.Recorded
+      | Vm.Isa.Work _ | Vm.Isa.Opaque _ | Vm.Isa.Goto _ | Vm.Isa.If _
+      | Vm.Isa.Unlock _ | Vm.Isa.Nonstd_atomic _ | Vm.Isa.Alloc _
+      | Vm.Isa.Free _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
+        false
+    in
+    if immediate then grant eng tid else try_grant eng;
+    fill eng ctx
+  end
+  else begin
+    ensure_sub ();
+    tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1;
+    let wake tids =
+      List.iter
+        (fun w ->
+          Order.set_eligible eng.order w true;
+          make_runnable eng ~ctx_hint:ctx w)
+        tids
+    in
+    let d =
+      match instr with
+      | Vm.Isa.Work { cost; run } -> Exec.Sem.exec_work st tcb ~cost ~run
+      | Vm.Isa.Opaque { cost; run } ->
+        (* Unknown mod-set (third-party code): conservative ⊤ dependence. *)
+        (match cur_sub_opt eng tid with
+        | Some sub -> sub.Subthread.global_dep <- not tcb.Vm.Tcb.in_cpr_region
+        | None -> ());
+        Sim.Stats.incr st.Exec.State.stats "gprs.opaque_calls";
+        Exec.Sem.exec_work st tcb ~cost ~run
+      | Vm.Isa.Nonstd_atomic { var; rmw; dst } ->
+        (* Home-spun synchronization is invisible to DEX; outside a CPR
+           region it forces conservative recovery. *)
+        let v = var tcb.Vm.Tcb.regs in
+        (match cur_sub_opt eng tid with
+        | Some sub ->
+          Subthread.add_alias sub (Subthread.Atomic_var v);
+          if not tcb.Vm.Tcb.in_cpr_region then begin
+            sub.Subthread.global_dep <- true;
+            Sim.Stats.incr st.Exec.State.stats "gprs.nonstd_unprotected"
+          end
+        | None -> ());
+        Exec.Sem.atomic_rmw st tcb ~var:v ~rmw ~dst
+      | Vm.Isa.Unlock { m } ->
+        let woken, d = Exec.Sem.unlock st tcb (m tcb.Vm.Tcb.regs) in
+        tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth - 1;
+        (match woken with Some w -> wake [ w ] | None -> ());
+        d
+      | Vm.Isa.Alloc { size; dst } ->
+        let a, d = Exec.Sem.alloc st tcb ~size ~dst in
+        let size = Option.get (Vm.Mem.block_size st.Exec.State.mem a) in
+        (match cur_sub_opt eng tid with
+        | Some sub ->
+          ignore
+            (Wal.append eng.wal ~order:sub.Subthread.id
+               (Wal.Alloc { addr = a; size }))
+        | None -> ());
+        d + eng.cfg.costs.Vm.Costs.wal_append
+      | Vm.Isa.Free { addr } ->
+        (* Quarantined free: the block leaves the allocator only when
+           this sub-thread retires (see Subthread.freed_blocks), so a
+           squash can always undo the free without racing concurrent
+           reuse. *)
+        let a = addr tcb.Vm.Tcb.regs in
+        (match Vm.Mem.block_size st.Exec.State.mem a with
+        | None ->
+          (* A restored pointer can go stale across deeply overlapped
+             recoveries; quarantined reuse makes addresses unique until
+             retirement, so skipping the free is sound. *)
+          Sim.Stats.incr st.Exec.State.stats "gprs.stale_frees"
+        | Some size -> (
+          match cur_sub_opt eng tid with
+          | Some sub ->
+            sub.Subthread.freed_blocks <- (a, size) :: sub.Subthread.freed_blocks;
+            ignore
+              (Wal.append eng.wal ~order:sub.Subthread.id
+                 (Wal.Free { addr = a; size }))
+          | None -> Vm.Mem.free st.Exec.State.mem a));
+        eng.cfg.costs.Vm.Costs.free + eng.cfg.costs.Vm.Costs.wal_append
+      | Vm.Isa.Lock { m } ->
+        (* Nested lock inside a critical section or a CPR region. *)
+        let m = m tcb.Vm.Tcb.regs in
+        (match cur_sub_opt eng tid with
+        | Some sub -> Subthread.add_alias sub (Subthread.Mutex m)
+        | None -> ());
+        let acquired, d = Exec.Sem.try_lock st tcb m in
+        if acquired then tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth + 1
+        else Order.set_eligible eng.order tid false;
+        Sim.Stats.incr st.Exec.State.stats "gprs.flattened_locks";
+        d
+      | Vm.Isa.Barrier { b } ->
+        (* Only reachable inside a CPR region. *)
+        let released, d = Exec.Sem.barrier_arrive st tcb b in
+        wake released;
+        d
+      | Vm.Isa.Cond_wait { c; m } ->
+        let granted, d = Exec.Sem.cond_block st tcb ~c ~m in
+        tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth - 1;
+        (match granted with Some w -> wake [ w ] | None -> ());
+        Order.set_eligible eng.order tid false;
+        d
+      | Vm.Isa.Cond_signal { c; all } ->
+        let _woken, runnable, d = Exec.Sem.cond_wake st ~c ~all in
+        wake runnable;
+        d
+      | Vm.Isa.Atomic { var; rmw; dst } ->
+        let v = var tcb.Vm.Tcb.regs in
+        (match cur_sub_opt eng tid with
+        | Some sub -> Subthread.add_alias sub (Subthread.Atomic_var v)
+        | None -> ());
+        Exec.Sem.atomic_rmw st tcb ~var:v ~rmw ~dst
+      | Vm.Isa.Join { tid = target } ->
+        let ready, d = Exec.Sem.join st tcb ~target:(target tcb.Vm.Tcb.regs) in
+        if not ready then Order.set_eligible eng.order tid false;
+        d
+      | Vm.Isa.Fork { group; proc; args; dst } ->
+        (* Fork inside a CPR region: still intercepted for bookkeeping. *)
+        let child, _ = Exec.Sem.fork st tcb ~group ~proc ~args ~dst in
+        let ctid = child.Vm.Tcb.tid in
+        (match cur_sub_opt eng tid with
+        | Some sub ->
+          sub.Subthread.forked <- ctid :: sub.Subthread.forked;
+          ignore
+            (Wal.append eng.wal ~order:sub.Subthread.id
+               (Wal.Thread_create { tid = ctid }))
+        | None -> ());
+        Order.add_thread eng.order ~tid:ctid ~group;
+        ignore (new_sub eng child);
+        wake [ ctid ];
+        eng.cfg.costs.Vm.Costs.subthread_create
+      | Vm.Isa.Exit ->
+        complete_current eng tid;
+        let joiners, d = Exec.Sem.exit_thread st tcb in
+        wake joiners;
+        Order.remove_thread eng.order tid;
+        d
+      | Vm.Isa.Goto _ | Vm.Isa.If _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
+        assert false
+    in
+    schedule_tick eng ctx ~after:(!ctrl + d + take_delay eng tid)
+  end
+
+and fill eng ctx =
+  (* [try_grant] may already have filled this context from inside a park
+     path; never overwrite a live assignment. *)
+  if
+    eng.ctx_of.(ctx) = None
+    && (not eng.dead_ctx.(ctx))
+    && not (eng.recovering && eng.cfg.recovery = Basic)
+  then
+    match Sched.Scheduler.take eng.sched ~ctx with
+    | None -> ()
+    | Some (tid, stolen) ->
+      Hashtbl.remove eng.queued tid;
+      if Hashtbl.mem eng.destroyed tid then fill eng ctx
+      else begin
+        let tcb = Exec.State.thread eng.st tid in
+        Sim.Trace.recordf eng.st.Exec.State.trace (now eng) "fill ctx=%d tid=%d wait=%s"
+          ctx tid
+          (Format.asprintf "%a" Vm.Tcb.pp_wait tcb.Vm.Tcb.wait);
+        if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then begin
+          eng.ctx_of.(ctx) <- Some tid;
+          if stolen then begin
+            Sim.Stats.incr eng.st.Exec.State.stats "gprs.steals";
+            add_delay eng tid eng.cfg.costs.Vm.Costs.steal
+          end;
+          dispatch eng ctx tcb
+        end
+        else fill eng ctx
+      end
+
+and fill_all eng =
+  for ctx = 0 to Array.length eng.ctx_of - 1 do
+    if eng.ctx_of.(ctx) = None then fill eng ctx
+  done
+
+(* ------------------------------------------------------------------ *)
+(* REX: retirement                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let retire eng =
+  let st = eng.st in
+  let latency = eng.cfg.costs.Vm.Costs.detection_latency in
+  let retired = Rol.retire_ready eng.rol ~now:(now eng) ~latency in
+  if retired <> [] then begin
+    eng.squashed_since_retire <- 0;
+    List.iter
+      (fun (sub : Subthread.t) ->
+        Sim.Stats.incr st.Exec.State.stats "gprs.retired";
+        (* Quarantined frees become real at retirement (output commit). *)
+        List.iter
+          (fun (a, size) ->
+            if Vm.Mem.block_size st.Exec.State.mem a = Some size then
+              Vm.Mem.free st.Exec.State.mem a)
+          sub.Subthread.freed_blocks)
+      retired;
+    (match Rol.min_live_id eng.rol with
+    | Some min_id ->
+      ignore (Wal.prune_below eng.wal ~order:min_id);
+      (* If the new head is already complete, schedule its retirement. *)
+      (match Rol.head eng.rol with
+      | Some h -> (
+        match h.Subthread.status with
+        | Subthread.Complete c -> schedule_retire_check eng ~at:(c + latency + 1)
+        | Subthread.Running | Subthread.Squashed -> ())
+      | None -> ())
+    | None -> ignore (Wal.prune_below eng.wal ~order:eng.next_sub_id))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* REX: recovery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Int_set = Set.Make (Int)
+
+(* The dependent walk of §3.4: younger sub-threads are squashed when they
+   share an alias with, follow in program order, or were forked by, an
+   already-squashed sub-thread. A single ascending pass reaches the
+   fixpoint because dependence only flows from older to younger. *)
+let compute_squash_set eng (victim : Subthread.t) =
+  let younger = Rol.younger_than eng.rol victim.Subthread.id in
+  match eng.cfg.recovery with
+  | Basic -> victim :: younger
+  | Selective ->
+    let squashed = ref [ victim ] in
+    let squashed_tids = Hashtbl.create 8 in
+    Hashtbl.replace squashed_tids victim.Subthread.tid ();
+    let forked_tids = Hashtbl.create 8 in
+    List.iter
+      (fun t -> Hashtbl.replace forked_tids t ())
+      victim.Subthread.forked;
+    List.iter
+      (fun (s : Subthread.t) ->
+        let dependent =
+          Hashtbl.mem squashed_tids s.Subthread.tid
+          || Hashtbl.mem forked_tids s.Subthread.tid
+          || List.exists (fun u -> Subthread.shares_alias u s) !squashed
+        in
+        if dependent then begin
+          squashed := s :: !squashed;
+          Hashtbl.replace squashed_tids s.Subthread.tid ();
+          List.iter (fun t -> Hashtbl.replace forked_tids t ()) s.Subthread.forked
+        end)
+      younger;
+    List.rev !squashed
+
+let destroy_thread eng tid =
+  if not (Hashtbl.mem eng.destroyed tid) then begin
+    Hashtbl.add eng.destroyed tid ();
+    let tcb = Exec.State.thread eng.st tid in
+    if tcb.Vm.Tcb.wait <> Vm.Tcb.Done then
+      eng.st.Exec.State.live_threads <- eng.st.Exec.State.live_threads - 1;
+    tcb.Vm.Tcb.wait <- Vm.Tcb.Done;
+    Order.remove_thread eng.order tid;
+    Hashtbl.remove eng.cur_sub tid;
+    ignore (Sched.Scheduler.remove eng.sched tid);
+    Hashtbl.remove eng.queued tid;
+    Sim.Stats.incr eng.st.Exec.State.stats "gprs.threads_destroyed"
+  end
+
+let cancel_ctx_of_thread eng tid =
+  Array.iteri
+    (fun ctx o ->
+      if o = Some tid then begin
+        (match eng.tick_handle.(ctx) with
+        | Some h -> Sim.Event_queue.cancel eng.st.Exec.State.evq h
+        | None -> ());
+        eng.tick_handle.(ctx) <- None;
+        eng.ctx_of.(ctx) <- None
+      end)
+    eng.ctx_of
+
+let recover eng (victim : Subthread.t) =
+  let st = eng.st in
+  let costs = eng.cfg.costs in
+  Sim.Stats.incr st.Exec.State.stats "gprs.recoveries";
+  let squash = compute_squash_set eng victim in
+  let n_squash = List.length squash in
+  Sim.Stats.add st.Exec.State.stats "gprs.squashed_subs" n_squash;
+  eng.squashed_since_retire <- eng.squashed_since_retire + n_squash;
+  (* Basic recovery stalls the whole machine: remember interrupted
+     contexts so their in-flight instructions complete after the pause. *)
+  if eng.cfg.recovery = Basic then begin
+    eng.interrupted <- [];
+    Array.iteri
+      (fun ctx o ->
+        match o with
+        | Some tid
+          when not
+                 (List.exists (fun (s : Subthread.t) -> s.Subthread.tid = tid) squash)
+          -> (
+          match eng.tick_handle.(ctx) with
+          | Some h ->
+            Sim.Event_queue.cancel st.Exec.State.evq h;
+            eng.tick_handle.(ctx) <- None;
+            eng.interrupted <- (ctx, eng.busy_until.(ctx)) :: eng.interrupted
+          | None -> ())
+        | Some _ | None -> ())
+      eng.ctx_of
+  end;
+  (* Oldest squashed sub-thread per affected thread: the restart point. *)
+  let oldest : (int, Subthread.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Subthread.t) ->
+      match Hashtbl.find_opt oldest s.Subthread.tid with
+      | Some o when o.Subthread.id <= s.Subthread.id -> ()
+      | Some _ | None -> Hashtbl.replace oldest s.Subthread.tid s)
+    squash;
+  (* Undo architectural state newest-sub first. For conflicting memory
+     accesses in a race-free program, sub-thread order agrees with
+     chronology, so per-sub copy-on-write replay is sound. *)
+  let words = ref 0 and wal_undone = ref 0 in
+  let squash_desc =
+    List.sort (fun (a : Subthread.t) b -> compare b.Subthread.id a.Subthread.id) squash
+  in
+  let squashed_ids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Subthread.t) ->
+      Hashtbl.replace squashed_ids s.Subthread.id ();
+      cancel_ctx_of_thread eng s.Subthread.tid;
+      words :=
+        !words
+        + Exec.Undo_log.replay ~mem:st.Exec.State.mem ~atomics:st.Exec.State.atomics
+            ~io:st.Exec.State.io s.Subthread.undo;
+      s.Subthread.status <- Subthread.Squashed;
+      Rol.remove eng.rol s.Subthread.id)
+    squash_desc;
+  (* Runtime (WAL) operations are NOT ordered by sub-thread id — the
+     allocator serves concurrent sub-threads in real time — so their undo
+     must walk the log in reverse LSN order (ARIES-style), across all
+     squashed sub-threads at once. *)
+  let in_squash o = Hashtbl.mem squashed_ids o in
+  List.iter
+    (fun (e : Wal.entry) ->
+      incr wal_undone;
+      match e.Wal.op with
+      | Wal.Alloc { addr; size = _ } -> (
+        match Vm.Mem.block_size st.Exec.State.mem addr with
+        | Some _ -> Vm.Mem.undo_alloc st.Exec.State.mem addr
+        | None -> ())
+      | Wal.Free _ ->
+        (* The free was quarantined: the block never left the allocator,
+           so dropping the squashed sub-thread's freed_blocks list is the
+           whole undo. *)
+        ()
+      | Wal.Thread_create { tid } -> destroy_thread eng tid
+      | Wal.Rol_insert _ | Wal.Sched_enqueue _ | Wal.Io_op _ -> ())
+    (Wal.entries_for eng.wal ~orders:in_squash);
+  ignore (Wal.drop_for eng.wal ~orders:in_squash);
+  (* Clean synchronization-object state touched by squashed work. *)
+  let affected tid = Hashtbl.mem oldest tid && not (Hashtbl.mem eng.destroyed tid) in
+  let squashed_or_destroyed tid =
+    Hashtbl.mem oldest tid || Hashtbl.mem eng.destroyed tid
+  in
+  Array.iteri
+    (fun mi (mu : Exec.State.mutex) ->
+      (match mu.Exec.State.holder with
+      | Some h
+        when squashed_or_destroyed h
+             && List.exists
+                  (fun (s : Subthread.t) ->
+                    s.Subthread.tid = h
+                    && List.mem (Subthread.Mutex mi) s.Subthread.aliases)
+                  squash ->
+        mu.Exec.State.holder <- None
+      | Some _ | None -> ());
+      mu.Exec.State.mwaiters <-
+        List.filter (fun w -> not (squashed_or_destroyed w)) mu.Exec.State.mwaiters)
+    st.Exec.State.mutexes;
+  Array.iter
+    (fun (c : Exec.State.cond) ->
+      c.Exec.State.sleepers <-
+        List.filter (fun w -> not (squashed_or_destroyed w)) c.Exec.State.sleepers)
+    st.Exec.State.conds;
+  Array.iter
+    (fun (b : Exec.State.barrier) ->
+      b.Exec.State.arrived <-
+        List.filter (fun w -> not (squashed_or_destroyed w)) b.Exec.State.arrived)
+    st.Exec.State.barriers;
+  (* Reset affected threads to their oldest squashed checkpoint. *)
+  let restarts = ref [] in
+  Hashtbl.iter
+    (fun tid (o : Subthread.t) ->
+      if affected tid then begin
+        let tcb = Exec.State.thread st tid in
+        if tcb.Vm.Tcb.wait = Vm.Tcb.Done then begin
+          (* The thread had exited inside squashed work: revive it. *)
+          st.Exec.State.live_threads <- st.Exec.State.live_threads + 1;
+          Order.add_thread eng.order ~tid ~group:tcb.Vm.Tcb.group
+        end;
+        (* Rolls the thread's barrier arrival counters back with it;
+           [barrier_done] stays monotonic, so dispatch skips re-arrivals
+           for episodes that already released. *)
+        Vm.Tcb.restore_state tcb o.Subthread.saved;
+        tcb.Vm.Tcb.wait <- Vm.Tcb.Runnable;
+        (* Re-grant the mutexes held at the restore point (the checkpoint
+           may sit inside a critical section). A conflicting unsquashed
+           holder can remain when the hand-off left the squash set through
+           an alias-free unlock sub-thread; the reset thread then queues
+           at the head and resumes when the mutex is handed back. *)
+        List.iter
+          (fun m ->
+            let mu = st.Exec.State.mutexes.(m) in
+            match mu.Exec.State.holder with
+            | None -> mu.Exec.State.holder <- Some tid
+            | Some h when h = tid -> ()
+            | Some _ ->
+              Sim.Stats.incr st.Exec.State.stats "gprs.regrant_waits";
+              mu.Exec.State.mwaiters <- tid :: mu.Exec.State.mwaiters;
+              tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m)
+          o.Subthread.held_locks;
+        (* A wake-sub checkpoint taken while queued for the mutex re-joins
+           the queue (or takes the mutex if free). *)
+        (match o.Subthread.pending_mutex with
+        | None -> ()
+        | Some m ->
+          let mu = st.Exec.State.mutexes.(m) in
+          (match mu.Exec.State.holder with
+          | None -> mu.Exec.State.holder <- Some tid
+          | Some h when h = tid -> ()
+          | Some _ ->
+            mu.Exec.State.mwaiters <- mu.Exec.State.mwaiters @ [ tid ];
+            tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m));
+        (* Joiners registered by surviving threads must outlive the reset:
+           clearing them would lose their wakeup when this thread
+           re-exits. Duplicate registrations from re-executed joins are
+           harmless (wakes are idempotent). *)
+        Order.set_eligible eng.order tid true;
+        Hashtbl.remove eng.cur_sub tid;
+        ignore (Sched.Scheduler.remove eng.sched tid);
+        Hashtbl.remove eng.queued tid;
+        Hashtbl.remove eng.pending_delay tid;
+        (* The replacement sub-thread is created lazily at the thread's
+           next dispatch (non-sync restart points) or at its next token
+           grant (sync restart points). *)
+        (* A thread reset into a mutex queue passes its turns until the
+           hand-off, like any blocked acquirer. *)
+        (match tcb.Vm.Tcb.wait with
+        | Vm.Tcb.On_mutex _ -> Order.set_eligible eng.order tid false
+        | _ -> ());
+        restarts := tid :: !restarts
+      end)
+    oldest;
+  (* Stranded waiters: a second recovery can release a mutex whose queue
+     still holds threads reset by an earlier one — hand it to the head. *)
+  Array.iter
+    (fun (mu : Exec.State.mutex) ->
+      match (mu.Exec.State.holder, mu.Exec.State.mwaiters) with
+      | None, w :: rest ->
+        mu.Exec.State.holder <- Some w;
+        mu.Exec.State.mwaiters <- rest;
+        let wt = Exec.State.thread st w in
+        wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
+        Order.set_eligible eng.order w true;
+        (match List.find_opt (fun t -> t = w) !restarts with
+        | Some _ -> ()
+        | None -> make_runnable eng ~ctx_hint:w w)
+      | (Some _ | None), _ -> ())
+    st.Exec.State.mutexes;
+  let duration =
+    costs.Vm.Costs.pause_resume
+    + (costs.Vm.Costs.restore_per_word * !words)
+    + (costs.Vm.Costs.wal_undo * !wal_undone)
+  in
+  Sim.Stats.add st.Exec.State.stats "gprs.restored_words" !words;
+  Sim.Stats.add st.Exec.State.stats "gprs.wal_undone" !wal_undone;
+  eng.recovering <- true;
+  eng.restart_pending <- List.sort compare !restarts;
+  ignore
+    (Sim.Event_queue.schedule st.Exec.State.evq
+       ~time:(now eng + Stdlib.max 1 duration)
+       Recovery_done)
+
+let recovery_done eng =
+  eng.recovering <- false;
+  List.iter
+    (fun tid ->
+      if (Exec.State.thread eng.st tid).Vm.Tcb.wait = Vm.Tcb.Runnable then
+        make_runnable eng ~ctx_hint:tid tid)
+    eng.restart_pending;
+  eng.restart_pending <- [];
+  (* Resume contexts stalled by basic recovery. *)
+  List.iter
+    (fun (ctx, busy_until) ->
+      let t = Stdlib.max busy_until (now eng + 1) in
+      eng.busy_until.(ctx) <- t;
+      eng.tick_handle.(ctx) <-
+        Some (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time:t (Tick ctx)))
+    eng.interrupted;
+  eng.interrupted <- [];
+  try_grant eng
+
+let handle_report eng victim =
+  let st = eng.st in
+  Sim.Stats.incr st.Exec.State.stats "gprs.exceptions";
+  if eng.recovering then eng.pending_reports <- eng.pending_reports @ [ victim ]
+  else
+    match victim with
+    | V_runtime ->
+      (* The exception corrupted GPRS's own structures: repair them by
+         walking the WAL; no user work is lost (§3.4). *)
+      Sim.Stats.incr st.Exec.State.stats "gprs.runtime_exceptions";
+      let duration =
+        eng.cfg.costs.Vm.Costs.pause_resume
+        + (eng.cfg.costs.Vm.Costs.wal_undo * Wal.size eng.wal)
+      in
+      eng.recovering <- true;
+      ignore
+        (Sim.Event_queue.schedule st.Exec.State.evq
+           ~time:(now eng + Stdlib.max 1 duration)
+           Recovery_done)
+    | V_sub id -> (
+      match Rol.find eng.rol id with
+      | None ->
+        (* Already squashed or the thread was destroyed: nothing live was
+           corrupted. *)
+        Sim.Stats.incr st.Exec.State.stats "gprs.exn_on_dead_sub"
+      | Some sub -> recover eng sub)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plumbing and the main loop                                    *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_next_fault eng =
+  let inj, ev = Faults.Injector.next eng.injector in
+  eng.injector <- inj;
+  match ev with
+  | None -> ()
+  | Some ev ->
+    let time = Stdlib.max ev.Faults.Injector.occurred_at (now eng) in
+    ignore
+      (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time
+         (Fault_occur { ctx = ev.Faults.Injector.ctx; kind = ev.Faults.Injector.kind }))
+
+let fault_occur eng ctx kind =
+  let victim =
+    match eng.ctx_of.(ctx) with
+    | Some tid -> (
+      match cur_sub_opt eng tid with
+      | Some sub -> V_sub sub.Subthread.id
+      | None -> V_runtime)
+    | None -> V_runtime
+  in
+  ignore
+    (Sim.Event_queue.schedule eng.st.Exec.State.evq
+       ~time:(now eng + eng.cfg.costs.Vm.Costs.detection_latency)
+       (Fault_report { victim; ctx; kind }));
+  schedule_next_fault eng
+
+(* Permanent revocation (§3.5 extension): retire the context. A thread
+   running on it migrates — its in-flight instruction's effects were
+   applied at dispatch, so requeueing resumes it at the next one. *)
+let revoke_context eng ctx =
+  if not eng.dead_ctx.(ctx) then begin
+    eng.dead_ctx.(ctx) <- true;
+    Sim.Stats.incr eng.st.Exec.State.stats "gprs.contexts_revoked";
+    (match eng.tick_handle.(ctx) with
+    | Some h -> Sim.Event_queue.cancel eng.st.Exec.State.evq h
+    | None -> ());
+    eng.tick_handle.(ctx) <- None;
+    match eng.ctx_of.(ctx) with
+    | Some tid ->
+      eng.ctx_of.(ctx) <- None;
+      let tcb = Exec.State.thread eng.st tid in
+      if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then make_runnable eng ~ctx_hint:tid tid
+    | None -> ()
+  end
+
+let all_contexts_dead eng = Array.for_all Fun.id eng.dead_ctx
+
+let finished eng = Exec.State.all_exited eng.st && Rol.is_empty eng.rol
+
+let finalize eng ~dnc =
+  let st = eng.st in
+  Sim.Stats.set_max st.Exec.State.stats "gprs.rol_depth" (Rol.max_size eng.rol);
+  Sim.Stats.set_max st.Exec.State.stats "wal.high_water" (Wal.high_water eng.wal);
+  if dnc && Sys.getenv_opt "GPRS_DEBUG" <> None then begin
+    Format.eprintf "=== GPRS wedge dump (t=%d) ===@." (now eng);
+    Format.eprintf "holder=%s recovering=%b sched_len=%d@."
+      (match Order.holder eng.order with
+      | Some t -> string_of_int t
+      | None -> "none")
+      eng.recovering
+      (Sched.Scheduler.length eng.sched);
+    for tid = 0 to st.Exec.State.n_threads - 1 do
+      let tcb = Exec.State.thread st tid in
+      Format.eprintf "tid=%d wait=%a eligible=%b on_ctx=%b queued=%b sub=%s@." tid
+        Vm.Tcb.pp_wait tcb.Vm.Tcb.wait
+        (Order.is_eligible eng.order tid)
+        (on_ctx eng tid) (Hashtbl.mem eng.queued tid)
+        (match cur_sub_opt eng tid with
+        | Some s -> Format.asprintf "%a" Subthread.pp s
+        | None -> "-")
+    done;
+    Format.eprintf "rol: %a@."
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Subthread.pp)
+      (Rol.to_list eng.rol);
+    List.iter
+      (fun (t, m) -> Format.eprintf "  [%d] %s@." t m)
+      (Sim.Trace.to_list st.Exec.State.trace)
+  end;
+  Exec.State.mk_result st ~dnc
+
+let run cfg program =
+  let st =
+    Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
+      ~seed:cfg.seed ()
+  in
+  let eng =
+    {
+      cfg;
+      st;
+      sched = Sched.Scheduler.create Sched.Scheduler.Work_steal ~n_contexts:cfg.n_contexts;
+      ctx_of = Array.make cfg.n_contexts None;
+      tick_handle = Array.make cfg.n_contexts None;
+      busy_until = Array.make cfg.n_contexts 0;
+      dead_ctx = Array.make cfg.n_contexts false;
+      order =
+        Order.create cfg.ordering ~group_weights:program.Vm.Isa.group_weights;
+      rol = Rol.create ();
+      wal = Wal.create ();
+      next_sub_id = 0;
+      cur_sub = Hashtbl.create 64;
+      pending_delay = Hashtbl.create 64;
+      queued = Hashtbl.create 64;
+      destroyed = Hashtbl.create 16;
+      recovering = false;
+      restart_pending = [];
+      interrupted = [];
+      pending_reports = [];
+      squashed_since_retire = 0;
+      injector =
+        Faults.Injector.create cfg.injector ~n_contexts:cfg.n_contexts
+          ~cycles_per_second:cfg.costs.Vm.Costs.cycles_per_second;
+      grant_guard = 0;
+    }
+  in
+  let main = Exec.State.thread st Exec.State.main_tid in
+  Order.add_thread eng.order ~tid:Exec.State.main_tid ~group:main.Vm.Tcb.group;
+  ignore (new_sub eng main);
+  make_runnable eng ~ctx_hint:0 Exec.State.main_tid;
+  fill_all eng;
+  schedule_next_fault eng;
+  let rec loop () =
+    if eng.squashed_since_retire > cfg.livelock_squashes then finalize eng ~dnc:true
+    else if finished eng then finalize eng ~dnc:false
+    else if all_contexts_dead eng then finalize eng ~dnc:true
+    else
+      match Sim.Event_queue.pop st.Exec.State.evq with
+      | None ->
+        if finished eng then finalize eng ~dnc:false
+        else
+          raise
+            (Exec.State.Deadlock
+               (Printf.sprintf
+                  "gprs: %d live threads, rol=%d, no pending events"
+                  st.Exec.State.live_threads (Rol.size eng.rol)))
+      | Some (time, ev) -> (
+        match cfg.max_cycles with
+        | Some budget when time > budget -> finalize eng ~dnc:true
+        | Some _ | None ->
+          (match ev with
+          | Tick ctx -> (
+            eng.tick_handle.(ctx) <- None;
+            match eng.ctx_of.(ctx) with
+            | None -> fill eng ctx
+            | Some tid -> (
+              let tcb = Exec.State.thread st tid in
+              match tcb.Vm.Tcb.wait with
+              | Vm.Tcb.Runnable -> dispatch eng ctx tcb
+              | Vm.Tcb.On_mutex _ | Vm.Tcb.On_cond _ | Vm.Tcb.Reacquire _
+              | Vm.Tcb.On_barrier _ | Vm.Tcb.On_join _ | Vm.Tcb.On_token
+              | Vm.Tcb.Done ->
+                eng.ctx_of.(ctx) <- None;
+                fill eng ctx))
+          | Retire_check -> retire eng
+          | Fault_occur { ctx; kind } -> fault_occur eng ctx kind
+          | Fault_report { victim; ctx; kind } ->
+            if
+              eng.cfg.revoke_contexts
+              && kind = Faults.Injector.Resource_revocation
+            then revoke_context eng ctx;
+            handle_report eng victim
+          | Recovery_done ->
+            recovery_done eng;
+            retire eng;
+            (match eng.pending_reports with
+            | [] -> ()
+            | v :: rest ->
+              eng.pending_reports <- rest;
+              handle_report eng v));
+          try_grant eng;
+          loop ())
+  in
+  loop ()

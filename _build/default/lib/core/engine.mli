@@ -1,0 +1,71 @@
+(** The GPRS runtime: Deterministic Execution Engine (DEX) + Restart
+    Engine (REX).
+
+    DEX intercepts the program's synchronization operations and divides
+    its threads into ordered sub-threads (§3.2 of the paper):
+
+    - A sub-thread ends, and a new one begins, at each fork, join, lock,
+      barrier, condition wait/signal, atomic operation and thread exit.
+      Unlocks do {e not} split (critical-section optimization), and nested
+      critical sections are flattened into the outermost one.
+    - A thread arriving at a {e communication} operation (lock, atomic,
+      condition wait/signal, barrier) parks until the ordering token
+      designates it; the token follows the configured {!Order.scheme}.
+      The grant performs the operation — so the communication order
+      equals the token order — checkpoints the thread state into the new
+      sub-thread's history-buffer entry, and inserts the entry into the
+      ROL. Fork, join and exit boundaries are processed on arrival: they
+      do not communicate through shared objects (the fork order is the
+      parent's program order; join/exit pair through the thread edge), so
+      data-parallel programs incur no ordering waits — matching the
+      paper's near-zero ordering overhead for fork/join programs.
+    - Sub-threads are executed by a load-balancing work-stealing pool of
+      one worker per hardware context; virtual-thread creation under GPRS
+      costs a sub-thread creation, not an OS thread (DEX intercepts
+      [pthread_create]).
+    - Runtime operations (allocator calls, ROL inserts, thread creation)
+      are logged to the WAL on behalf of the executing sub-thread.
+
+    REX retires completed ROL heads once the exception-detection latency
+    has passed (output commit), and recovers from reported exceptions:
+
+    - {e Selective restart}: squash the excepted sub-thread plus the
+      younger sub-threads reachable from it through alias sharing, program
+      order and fork edges; undo their architectural writes (history
+      buffer) and runtime operations (WAL), reset their threads to the
+      oldest squashed checkpoint, and restart them — unaffected
+      sub-threads keep running.
+    - {e Basic recovery}: squash the excepted sub-thread and {e all}
+      younger sub-threads, stalling the whole machine during recovery.
+    - {e Hybrid recovery}: [Cpr_begin]/[Cpr_end] regions execute as single
+      sub-threads with interception suppressed, so data-race-prone or
+      non-standard-API code (Canneal) recovers at region granularity.
+    - Exceptions striking an idle context corrupt the runtime itself and
+      are repaired by walking the WAL (§3.4), with no user work lost.
+
+    Statistics are reported under ["gprs.*"] and ["wal.*"]. *)
+
+type recovery = Selective | Basic
+
+type config = {
+  n_contexts : int;
+  seed : int;
+  max_cycles : int option;  (** DNC budget *)
+  ordering : Order.scheme;
+  recovery : recovery;
+  injector : Faults.Injector.config;
+  livelock_squashes : int;
+      (** squashed sub-threads since the last retirement before the run is
+          declared DNC *)
+  costs : Vm.Costs.t;
+  revoke_contexts : bool;
+      (** treat [Resource_revocation] exceptions as permanent hardware
+          loss: the struck context is retired and execution continues on
+          the rest (the paper's §3.5 fatal-exception extension); all
+          contexts lost means DNC *)
+}
+
+val default_config : config
+(** 24 contexts, balance-aware ordering, selective restart, no faults. *)
+
+val run : config -> Vm.Isa.program -> Exec.State.run_result

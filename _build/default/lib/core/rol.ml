@@ -1,0 +1,58 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  tbl : (int, Subthread.t) Hashtbl.t;
+  mutable ids : Int_set.t;
+  mutable hw : int;
+}
+
+let create () = { tbl = Hashtbl.create 256; ids = Int_set.empty; hw = 0 }
+
+let insert t (sub : Subthread.t) =
+  if Hashtbl.mem t.tbl sub.Subthread.id then
+    invalid_arg "Rol.insert: duplicate id";
+  Hashtbl.add t.tbl sub.Subthread.id sub;
+  t.ids <- Int_set.add sub.Subthread.id t.ids;
+  let n = Int_set.cardinal t.ids in
+  if n > t.hw then t.hw <- n
+
+let find t id = Hashtbl.find_opt t.tbl id
+
+let remove t id =
+  if Hashtbl.mem t.tbl id then begin
+    Hashtbl.remove t.tbl id;
+    t.ids <- Int_set.remove id t.ids
+  end
+
+let head t =
+  match Int_set.min_elt_opt t.ids with
+  | None -> None
+  | Some id -> Hashtbl.find_opt t.tbl id
+
+let min_live_id t = Int_set.min_elt_opt t.ids
+
+let size t = Int_set.cardinal t.ids
+let max_size t = t.hw
+let is_empty t = Int_set.is_empty t.ids
+
+let younger_than t id =
+  Int_set.fold
+    (fun i acc -> if i > id then Hashtbl.find t.tbl i :: acc else acc)
+    t.ids []
+  |> List.rev
+
+let to_list t =
+  Int_set.fold (fun i acc -> Hashtbl.find t.tbl i :: acc) t.ids [] |> List.rev
+
+let retire_ready t ~now ~latency =
+  let rec go acc =
+    match head t with
+    | Some sub -> (
+      match sub.Subthread.status with
+      | Subthread.Complete c when now >= c + latency ->
+        remove t sub.Subthread.id;
+        go (sub :: acc)
+      | Subthread.Complete _ | Subthread.Running | Subthread.Squashed -> List.rev acc)
+    | None -> List.rev acc
+  in
+  go []

@@ -1,0 +1,42 @@
+(** Reorder list (ROL): in-flight sub-threads in total order.
+
+    The analogue of a superscalar reorder buffer (§3.2). Sub-threads enter
+    in creation (order) position; the head is the oldest unretired
+    sub-thread. Retirement removes exception-free completed heads;
+    recovery removes arbitrary squashed entries. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> Subthread.t -> unit
+(** Ids must be unique; raises [Invalid_argument] otherwise. *)
+
+val find : t -> int -> Subthread.t option
+
+val remove : t -> int -> unit
+(** No-op when absent. *)
+
+val head : t -> Subthread.t option
+(** Oldest live entry. *)
+
+val min_live_id : t -> int option
+
+val size : t -> int
+
+val max_size : t -> int
+(** High-water depth, reported in the stats. *)
+
+val is_empty : t -> bool
+
+val younger_than : t -> int -> Subthread.t list
+(** Entries with [id > given], oldest first — the suffix recovery walks. *)
+
+val to_list : t -> Subthread.t list
+(** All live entries, oldest first. *)
+
+val retire_ready : t -> now:int -> latency:int -> Subthread.t list
+(** Pops the maximal prefix of completed heads whose completion is at
+    least [latency] old (the output-commit rule: a sub-thread may not
+    retire while an exception that struck it could still be unreported).
+    The popped entries are removed. *)

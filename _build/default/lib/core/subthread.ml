@@ -1,0 +1,74 @@
+type alias =
+  | Mutex of int
+  | Atomic_var of int
+  | Condvar of int
+  | Barrier_obj of int
+  | Thread_edge of int
+
+type status = Running | Complete of int | Squashed
+
+type t = {
+  id : int;
+  tid : int;
+  started_at : int;
+  mutable status : status;
+  mutable aliases : alias list;
+  mutable global_dep : bool;
+  mutable cpr_region : bool;
+  saved : Vm.Tcb.saved;
+  mutable held_locks : int list;
+  undo : Exec.Undo_log.t;
+  mutable forked : int list;
+  mutable pending_mutex : int option;
+  mutable freed_blocks : (int * int) list;
+}
+
+let make ~id ~tid ~now ~saved =
+  {
+    id;
+    tid;
+    started_at = now;
+    status = Running;
+    aliases = [];
+    global_dep = false;
+    cpr_region = false;
+    saved;
+    held_locks = [];
+    undo = Exec.Undo_log.create ();
+    forked = [];
+    pending_mutex = None;
+    freed_blocks = [];
+  }
+
+let add_alias t a =
+  match t.aliases with
+  | hd :: _ when hd = a -> ()
+  | _ -> t.aliases <- a :: t.aliases
+
+let shares_alias a b =
+  a.global_dep || b.global_dep
+  || List.exists (fun x -> List.mem x b.aliases) a.aliases
+
+let is_complete t = match t.status with Complete _ -> true | Running | Squashed -> false
+
+let completion_time t =
+  match t.status with Complete c -> Some c | Running | Squashed -> None
+
+let pp_alias ppf = function
+  | Mutex m -> Format.fprintf ppf "m%d" m
+  | Atomic_var v -> Format.fprintf ppf "a%d" v
+  | Condvar c -> Format.fprintf ppf "c%d" c
+  | Barrier_obj b -> Format.fprintf ppf "b%d" b
+  | Thread_edge t -> Format.fprintf ppf "t%d" t
+
+let pp ppf t =
+  Format.fprintf ppf "sub#%d(tid=%d,%s,[%a]%s)" t.id t.tid
+    (match t.status with
+    | Running -> "running"
+    | Complete c -> Printf.sprintf "complete@%d" c
+    | Squashed -> "squashed")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_alias)
+    t.aliases
+    (if t.global_dep then ",⊤" else "")

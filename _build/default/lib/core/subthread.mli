@@ -1,0 +1,76 @@
+(** Sub-threads: the unit of ordering, checkpointing and restart.
+
+    The DEX logically divides program threads into sub-threads at
+    communication points (§3.2 of the paper). Each sub-thread records:
+
+    - a checkpoint of its thread's restartable state taken at its start
+      (registers, pc — the paper's "call stack and processor registers");
+    - a copy-on-write undo log of every architectural write it performs
+      (the mod-set state in the history buffer);
+    - the {e aliases} of the shared data it touched: the dynamic identity
+      of locks acquired, atomic variables accessed, condition variables,
+      barriers and thread join/exit edges. Aliases drive selective
+      restart's dependent walk ("ones that acquired the same lock(s) or
+      used the same atomic variable as the excepting sub-thread").
+
+    The [id] doubles as the sub-thread's position in the deterministic
+    total order: ids are allocated in token-grant order. *)
+
+type alias =
+  | Mutex of int
+  | Atomic_var of int
+  | Condvar of int
+  | Barrier_obj of int
+  | Thread_edge of int  (** join/exit communication with thread [tid] *)
+
+type status =
+  | Running  (** executing, or parked awaiting its thread's next turn *)
+  | Complete of int  (** finished at the given time; awaiting retirement *)
+  | Squashed  (** discarded by recovery *)
+
+type t = {
+  id : int;  (** creation sequence = position in the total order *)
+  tid : int;
+  started_at : int;
+  mutable status : status;
+  mutable aliases : alias list;  (** newest first; duplicates allowed *)
+  mutable global_dep : bool;
+      (** conservative ⊤-alias: opaque calls and non-standard sync outside
+          CPR regions conflict with every younger sub-thread *)
+  mutable cpr_region : bool;  (** covers a [Cpr_begin]/[Cpr_end] hybrid region *)
+  saved : Vm.Tcb.saved;  (** thread state at sub-thread start *)
+  mutable held_locks : int list;
+      (** mutexes the thread held when this sub-thread's checkpoint was
+          taken (a checkpoint can sit inside a critical section — e.g. a
+          cond_wait boundary). Restoring the checkpoint must re-grant
+          them, not release them. *)
+  undo : Exec.Undo_log.t;
+  mutable forked : int list;  (** tids of threads this sub-thread created *)
+  mutable pending_mutex : int option;
+      (** set when the checkpoint was taken while the thread was queued to
+          (re-)acquire a mutex — a condvar wake-sub whose sleeper had not
+          yet got the mutex back. Restoring such a checkpoint must re-join
+          the mutex queue (or take the mutex if free), not run. *)
+  mutable freed_blocks : (int * int) list;
+      (** (addr, size) blocks this sub-thread freed. Frees are
+          {e quarantined}: the block re-enters the allocator only when
+          this sub-thread retires, so no unsquashed sub-thread can ever
+          hold memory whose free might still be rolled back. *)
+}
+
+val make : id:int -> tid:int -> now:int -> saved:Vm.Tcb.saved -> t
+
+val add_alias : t -> alias -> unit
+(** Prepends unless already the most recent entry (cheap dedup for tight
+    loops on one object). *)
+
+val shares_alias : t -> t -> bool
+(** True when the alias sets intersect, or either side is [global_dep]. *)
+
+val is_complete : t -> bool
+
+val completion_time : t -> int option
+
+val pp_alias : Format.formatter -> alias -> unit
+
+val pp : Format.formatter -> t -> unit

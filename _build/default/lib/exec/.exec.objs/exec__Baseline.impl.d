@@ -1,0 +1,1 @@
+lib/exec/baseline.ml: Array Hashtbl List Printf Sched Sem Sim State Stdlib Vm

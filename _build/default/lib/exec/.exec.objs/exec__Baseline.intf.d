@@ -1,0 +1,1 @@
+lib/exec/baseline.mli: Sched State Vm

@@ -1,0 +1,1 @@
+lib/exec/sem.ml: Array List State Stdlib Vm

@@ -1,0 +1,1 @@
+lib/exec/sem.mli: State Vm

@@ -1,0 +1,1 @@
+lib/exec/state.ml: Array List Printf Sim Stdlib Undo_log Vm

@@ -1,0 +1,1 @@
+lib/exec/state.mli: Sim Undo_log Vm

@@ -1,0 +1,1 @@
+lib/exec/undo_log.ml: Array Hashtbl List Vm

@@ -1,0 +1,1 @@
+lib/exec/undo_log.mli: Vm

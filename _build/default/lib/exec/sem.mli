@@ -1,0 +1,73 @@
+(** Shared instruction semantics.
+
+    State transitions for the virtual ISA, used by every engine so that
+    architectural behaviour and cycle charges are identical across the
+    Pthreads baseline, CPR and GPRS. The helpers mutate the machine state
+    and report what the engine's scheduler must do (durations, threads to
+    wake); they never touch the event queue or run queues themselves.
+
+    Convention: the engine advances [pc] {e before} invoking a helper, so
+    a thread that blocks resumes exactly after the blocking instruction
+    when it is granted/woken. *)
+
+val min_cost : int
+(** Floor charged for any dispatched instruction (1 cycle), which also
+    guarantees simulated-time progress for control-flow-only loops. *)
+
+val exec_work :
+  'ev State.t -> Vm.Tcb.t -> cost:(Vm.Isa.regs -> int) -> run:(Vm.Env.t -> unit) -> int
+(** Runs the closure through the thread's tracked environment; returns the
+    total duration (declared cost + tracked-access cycles). *)
+
+val try_lock : 'ev State.t -> Vm.Tcb.t -> int -> bool * int
+(** [(acquired, duration)]. On failure the thread is appended to the
+    mutex's FIFO waiters with [wait = On_mutex]. Recursive acquisition by
+    the holder is a workload bug and raises. *)
+
+val unlock : 'ev State.t -> Vm.Tcb.t -> int -> int option * int
+(** Releases; if a waiter exists, ownership transfers to the FIFO head,
+    whose tid is returned already marked [Runnable] — the engine decides
+    where to run it. *)
+
+val cond_block : 'ev State.t -> Vm.Tcb.t -> c:int -> m:int -> int option * int
+(** Condition wait: releases [m] (possibly transferring it, returned tid as
+    in {!unlock}) and puts the thread to sleep on [c]. *)
+
+val cond_wake :
+  'ev State.t -> c:int -> all:bool -> (int * int) list * int list * int
+(** Signal/broadcast: each woken sleeper attempts to reacquire its mutex —
+    immediately becoming [Runnable] holder if free, otherwise joining the
+    mutex waiters. Returns [(woken, runnable, duration)]: all woken
+    sleepers as [(tid, mutex)] pairs, and the subset that became
+    [Runnable]. A wake is a communication edge: GPRS opens a fresh
+    sub-thread for each woken sleeper so its continuation is ordered
+    {e after} the signal. *)
+
+val barrier_arrive : 'ev State.t -> Vm.Tcb.t -> int -> int list * int
+(** Returns the {e other} threads released (marked [Runnable]) if this
+    arrival filled the barrier; the arriving thread itself is left
+    [Runnable] on a fill and [On_barrier] otherwise. *)
+
+val atomic_rmw :
+  'ev State.t -> Vm.Tcb.t -> var:int -> rmw:(old:int -> Vm.Isa.regs -> int) -> dst:int -> int
+(** Performs the RMW (tracked), stores the old value in [dst]; returns the
+    duration. Used for both standard and non-standard atomics — the
+    engines differ only in interception, not in effect. *)
+
+val fork : 'ev State.t -> Vm.Tcb.t -> group:int -> proc:string -> args:(Vm.Isa.regs -> int array) -> dst:int -> Vm.Tcb.t * int
+(** Creates the child TCB ([Runnable]; the engine enqueues it), writes the
+    child tid into the parent's [dst]. Duration includes the OS
+    thread-creation cost. *)
+
+val join : 'ev State.t -> Vm.Tcb.t -> target:int -> bool * int
+(** [true] if the target already exited (caller proceeds); otherwise the
+    thread parks [On_join] and registers as a joiner. *)
+
+val exit_thread : 'ev State.t -> Vm.Tcb.t -> int list * int
+(** Marks the thread [Done]; returns joiners woken ([Runnable]). *)
+
+val alloc : 'ev State.t -> Vm.Tcb.t -> size:(Vm.Isa.regs -> int) -> dst:int -> int * int
+(** [(address, duration)]. *)
+
+val free_ : 'ev State.t -> Vm.Tcb.t -> addr:(Vm.Isa.regs -> int) -> int * int
+(** [(block_size, duration)]; the size is reported for WAL logging. *)

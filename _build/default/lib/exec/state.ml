@@ -1,0 +1,177 @@
+type 'ev t = {
+  program : Vm.Isa.program;
+  costs : Vm.Costs.t;
+  n_contexts : int;
+  mem : Vm.Mem.t;
+  io : Vm.Io.t;
+  atomics : int array;
+  mutexes : mutex array;
+  conds : cond array;
+  barriers : barrier array;
+  mutable threads : Vm.Tcb.t array;
+  mutable n_threads : int;
+  mutable live_threads : int;
+  evq : 'ev Sim.Event_queue.t;
+  stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
+  prng : Sim.Prng.t;
+  mutable current_undo : Undo_log.t option;
+  mutable acc_cost : int;
+  output_handles : (string * Vm.Io.file) list;
+}
+
+and mutex = { mutable holder : int option; mutable mwaiters : int list }
+and cond = { mutable sleepers : int list }
+and barrier = { parties : int; mutable arrived : int list }
+
+exception Deadlock of string
+
+let main_tid = 0
+
+let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
+  let open Vm.Isa in
+  let mem = Vm.Mem.create ~words:program.mem_words in
+  if program.reserved_words > 0 then
+    ignore (Vm.Mem.reserve mem program.reserved_words);
+  let io = Vm.Io.create () in
+  List.iter
+    (fun (name, data) -> ignore (Vm.Io.add_file io ~name data))
+    program.input_files;
+  let output_handles =
+    List.map (fun name -> (name, Vm.Io.add_file io ~name [||])) program.output_files
+  in
+  let main =
+    Vm.Tcb.create
+      ~n_barriers:(Array.length program.barrier_parties)
+      ~tid:main_tid ~group:0
+      ~proc:(find_proc program program.entry)
+      ~args:[||]
+  in
+  let threads = Array.make 16 main in
+  {
+    program;
+    costs;
+    n_contexts;
+    mem;
+    io;
+    atomics = Array.make (Stdlib.max 1 program.n_atomics) 0;
+    mutexes =
+      Array.init (Stdlib.max 1 program.n_mutexes) (fun _ ->
+          { holder = None; mwaiters = [] });
+    conds =
+      Array.init (Stdlib.max 1 program.n_condvars) (fun _ -> { sleepers = [] });
+    barriers =
+      Array.init
+        (Array.length program.barrier_parties)
+        (fun i -> { parties = program.barrier_parties.(i); arrived = [] });
+    threads;
+    n_threads = 1;
+    live_threads = 1;
+    evq = Sim.Event_queue.create ();
+    stats = Sim.Stats.create ();
+    trace = Sim.Trace.create ~capacity:trace_capacity ();
+    prng = Sim.Prng.create seed;
+    current_undo = None;
+    acc_cost = 0;
+    output_handles;
+  }
+
+let thread t tid =
+  if tid < 0 || tid >= t.n_threads then
+    invalid_arg (Printf.sprintf "State.thread: bad tid %d" tid);
+  t.threads.(tid)
+
+let spawn t ~group ~proc ~args =
+  let tid = t.n_threads in
+  let tcb =
+    Vm.Tcb.create
+      ~n_barriers:(Array.length t.program.Vm.Isa.barrier_parties)
+      ~tid ~group
+      ~proc:(Vm.Isa.find_proc t.program proc)
+      ~args
+  in
+  if t.n_threads = Array.length t.threads then begin
+    let threads' = Array.make (2 * t.n_threads) tcb in
+    Array.blit t.threads 0 threads' 0 t.n_threads;
+    t.threads <- threads'
+  end;
+  t.threads.(tid) <- tcb;
+  t.n_threads <- t.n_threads + 1;
+  t.live_threads <- t.live_threads + 1;
+  Sim.Stats.incr t.stats "threads.created";
+  tcb
+
+let note_undo t key ~old =
+  match t.current_undo with
+  | None -> ()
+  | Some log ->
+    if Undo_log.note log key ~old then begin
+      t.acc_cost <- t.acc_cost + t.costs.Vm.Costs.cow_first_write;
+      Sim.Stats.incr t.stats "ckpt.cow_words"
+    end
+
+let env_of t (tcb : Vm.Tcb.t) =
+  let costs = t.costs in
+  {
+    Vm.Env.tid = tcb.Vm.Tcb.tid;
+    regs = tcb.Vm.Tcb.regs;
+    read =
+      (fun a ->
+        t.acc_cost <- t.acc_cost + costs.Vm.Costs.mem_access;
+        Vm.Mem.read t.mem a);
+    write =
+      (fun a v ->
+        t.acc_cost <- t.acc_cost + costs.Vm.Costs.mem_access;
+        note_undo t (Undo_log.K_mem a) ~old:(Vm.Mem.read t.mem a);
+        Vm.Mem.write t.mem a v);
+    file_size = (fun f -> Vm.Io.size t.io f);
+    file_read =
+      (fun f ~off ->
+        t.acc_cost <- t.acc_cost + costs.Vm.Costs.io_per_word;
+        Vm.Io.read t.io f ~off);
+    file_write =
+      (fun f ~off v ->
+        t.acc_cost <- t.acc_cost + costs.Vm.Costs.io_per_word;
+        let len = Vm.Io.size t.io f in
+        if off >= len then note_undo t (Undo_log.K_file_len f) ~old:len;
+        note_undo t (Undo_log.K_file (f, off)) ~old:(Vm.Io.read t.io f ~off);
+        Vm.Io.write t.io f ~off v);
+  }
+
+let take_acc_cost t =
+  let c = t.acc_cost in
+  t.acc_cost <- 0;
+  c
+
+let read_atomic t v = t.atomics.(v)
+
+let write_atomic t v x =
+  note_undo t (Undo_log.K_atomic v) ~old:t.atomics.(v);
+  t.atomics.(v) <- x
+
+let now t = Sim.Event_queue.now t.evq
+
+let all_exited t = t.live_threads = 0
+
+let seconds t c =
+  Sim.Time.to_seconds ~cycles_per_second:t.costs.Vm.Costs.cycles_per_second c
+
+type run_result = {
+  sim_cycles : Sim.Time.cycles;
+  sim_seconds : float;
+  dnc : bool;
+  run_stats : Sim.Stats.t;
+  outputs : (string * int array) list;
+  final_mem : Vm.Mem.t;
+}
+
+let mk_result t ~dnc =
+  {
+    sim_cycles = now t;
+    sim_seconds = seconds t (now t);
+    dnc;
+    run_stats = t.stats;
+    outputs =
+      List.map (fun (name, f) -> (name, Vm.Io.contents t.io f)) t.output_handles;
+    final_mem = t.mem;
+  }

@@ -1,0 +1,94 @@
+(** Shared executor state and instruction-semantics helpers.
+
+    All three engines (Pthreads baseline, coordinated CPR, GPRS) run
+    programs against one machine state type so their cost accounting and
+    architectural behaviour agree; the engines differ only in scheduling,
+    ordering, checkpointing and recovery, which is exactly the paper's
+    experimental control. The state is parameterized by the engine's
+    event-payload type.
+
+    The [current_undo] slot is the hook through which tracked writes
+    capture pre-images: the CPR engine points it at the epoch log, the
+    GPRS engine repoints it at each sub-thread's log, and the baseline
+    leaves it empty. *)
+
+type 'ev t = {
+  program : Vm.Isa.program;
+  costs : Vm.Costs.t;
+  n_contexts : int;
+  mem : Vm.Mem.t;
+  io : Vm.Io.t;
+  atomics : int array;
+  mutexes : mutex array;
+  conds : cond array;
+  barriers : barrier array;
+  mutable threads : Vm.Tcb.t array;  (** index = tid; grows *)
+  mutable n_threads : int;
+  mutable live_threads : int;
+  evq : 'ev Sim.Event_queue.t;
+  stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
+  prng : Sim.Prng.t;
+  mutable current_undo : Undo_log.t option;
+  mutable acc_cost : int;  (** cycles accrued by tracked accesses *)
+  output_handles : (string * Vm.Io.file) list;
+}
+
+and mutex = { mutable holder : int option; mutable mwaiters : int list }
+and cond = { mutable sleepers : int list }
+and barrier = { parties : int; mutable arrived : int list }
+
+val create :
+  ?trace_capacity:int ->
+  program:Vm.Isa.program ->
+  costs:Vm.Costs.t ->
+  n_contexts:int ->
+  seed:int ->
+  unit ->
+  'ev t
+(** Builds the machine, loads input files, creates the main thread
+    (tid 0, group 0, [Runnable]). *)
+
+val thread : 'ev t -> int -> Vm.Tcb.t
+val main_tid : int
+
+val spawn :
+  'ev t -> group:int -> proc:string -> args:int array -> Vm.Tcb.t
+(** Allocate a tid and TCB for a forked thread (caller decides when it
+    becomes runnable). *)
+
+val env_of : 'ev t -> Vm.Tcb.t -> Vm.Env.t
+(** Tracked environment for the thread: reads/writes charge
+    {!Vm.Costs.t.mem_access} into [acc_cost] and route pre-images into
+    [current_undo]. *)
+
+val take_acc_cost : 'ev t -> int
+(** Drain the accrued tracked-access cost (reset to 0). *)
+
+val read_atomic : 'ev t -> int -> int
+
+val write_atomic : 'ev t -> int -> int -> unit
+(** Tracked like memory: notes the pre-image into [current_undo]. *)
+
+val now : 'ev t -> Sim.Time.cycles
+
+val all_exited : 'ev t -> bool
+
+val seconds : 'ev t -> Sim.Time.cycles -> float
+(** Convert cycles to simulated wall-clock seconds. *)
+
+(** {1 Run results} *)
+
+type run_result = {
+  sim_cycles : Sim.Time.cycles;
+  sim_seconds : float;
+  dnc : bool;  (** did not complete within the cycle budget *)
+  run_stats : Sim.Stats.t;
+  outputs : (string * int array) list;  (** declared output files *)
+  final_mem : Vm.Mem.t;
+}
+
+val mk_result : 'ev t -> dnc:bool -> run_result
+
+exception Deadlock of string
+(** Raised when the event queue drains with live threads remaining. *)

@@ -1,0 +1,48 @@
+type key =
+  | K_mem of int
+  | K_atomic of int
+  | K_file of int * int
+  | K_file_len of int
+
+type t = {
+  mutable entries : (key * int) list;  (* newest first *)
+  seen : (key, unit) Hashtbl.t;
+}
+
+let create () = { entries = []; seen = Hashtbl.create 64 }
+
+let note t key ~old =
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.add t.seen key ();
+    t.entries <- (key, old) :: t.entries;
+    true
+  end
+
+let size t = Hashtbl.length t.seen
+let is_empty t = t.entries = []
+
+let apply_one ~mem ~atomics ~io (key, old) =
+  match key with
+  | K_mem a -> Vm.Mem.write mem a old
+  | K_atomic v -> atomics.(v) <- old
+  | K_file (f, off) -> Vm.Io.write io f ~off old
+  | K_file_len f -> Vm.Io.truncate io f old
+
+let replay ~mem ~atomics ~io t =
+  let n = size t in
+  List.iter (apply_one ~mem ~atomics ~io) t.entries;
+  t.entries <- [];
+  Hashtbl.reset t.seen;
+  n
+
+let keys t = List.map fst t.entries
+
+let merge_newer ~older t =
+  (* Entries are newest-first; fold the newer log's records under the
+     older one's, keeping the older pre-image on conflicts. *)
+  List.iter
+    (fun (key, old) -> ignore (note older key ~old))
+    (List.rev t.entries);
+  t.entries <- [];
+  Hashtbl.reset t.seen

@@ -1,0 +1,46 @@
+(** Copy-on-write undo log over the simulated architectural state.
+
+    One log captures the pre-images of everything written during a
+    recovery epoch — a GPRS sub-thread, or a CPR inter-checkpoint
+    interval. The first write to each location records its old value
+    (copy-on-write, the paper's alternative to compiler-derived mod-sets,
+    §3.2); replaying the log in reverse restores the state exactly as it
+    was when the log was opened.
+
+    Locations span all architectural state a squashed computation may have
+    touched: shared-memory words, atomic variables, simulated file words
+    and file lengths. *)
+
+type key =
+  | K_mem of int  (** shared-memory address *)
+  | K_atomic of int  (** atomic variable *)
+  | K_file of int * int  (** (file, offset) *)
+  | K_file_len of int  (** file length *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> key -> old:int -> bool
+(** Record the pre-image of [key] unless this log already holds one.
+    Returns [true] when the entry was recorded (a "first write"), which is
+    when the executor charges the copy-on-write cost. *)
+
+val size : t -> int
+(** Number of recorded pre-images (words of checkpoint state). *)
+
+val is_empty : t -> bool
+
+val replay :
+  mem:Vm.Mem.t -> atomics:int array -> io:Vm.Io.t -> t -> int
+(** Undo all recorded writes, newest first; returns the number of words
+    restored. The log is left empty and reusable. *)
+
+val keys : t -> key list
+(** Recorded locations, newest first; for tests. *)
+
+val merge_newer : older:t -> t -> unit
+(** Fold a newer epoch's pre-images into an older log: entries for
+    locations the older log already tracks are dropped (the older
+    pre-image wins). Used when CPR commits a checkpoint that later gets
+    aborted, and when GPRS subsumes nested recovery scopes. *)

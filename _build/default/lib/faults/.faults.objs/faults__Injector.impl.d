@@ -1,0 +1,1 @@
+lib/faults/injector.ml: Array Format Sim

@@ -1,0 +1,1 @@
+lib/faults/injector.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/sched/deque.ml: Array List Option

@@ -1,0 +1,57 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;  (* index of oldest element *)
+  mutable bottom : int;  (* index one past the newest element *)
+}
+
+let create () = { buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let length t = t.bottom - t.top
+let is_empty t = length t = 0
+
+let grow t =
+  let n = length t in
+  let cap = Array.length t.buf in
+  if n = cap then begin
+    let buf' = Array.make (2 * cap) None in
+    for i = 0 to n - 1 do
+      buf'.(i) <- t.buf.((t.top + i) mod cap)
+    done;
+    t.buf <- buf';
+    t.top <- 0;
+    t.bottom <- n
+  end
+  else if t.bottom = cap then begin
+    (* Compact in place: shift live entries to the front. *)
+    for i = 0 to n - 1 do
+      t.buf.(i) <- t.buf.(t.top + i)
+    done;
+    Array.fill t.buf n (cap - n) None;
+    t.top <- 0;
+    t.bottom <- n
+  end
+
+let push_bottom t x =
+  grow t;
+  t.buf.(t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1
+
+let pop_bottom t =
+  if is_empty t then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    let x = t.buf.(t.bottom) in
+    t.buf.(t.bottom) <- None;
+    x
+  end
+
+let steal_top t =
+  if is_empty t then None
+  else begin
+    let x = t.buf.(t.top) in
+    t.buf.(t.top) <- None;
+    t.top <- t.top + 1;
+    x
+  end
+
+let to_list t = List.init (length t) (fun i -> Option.get t.buf.(t.top + i))

@@ -1,0 +1,20 @@
+(** Double-ended work queue.
+
+    The per-context queue of the load-balancing scheduler, in the style
+    popularized by Cilk: the owner pushes and pops at the bottom (LIFO, for
+    locality), thieves steal from the top (FIFO, taking the oldest work).
+    The simulator is single-threaded, so no synchronization is needed —
+    only the scheduling {e policy} matters. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push_bottom : 'a t -> 'a -> unit
+val pop_bottom : 'a t -> 'a option
+val steal_top : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Top (oldest) first; used by tests. *)

@@ -1,0 +1,1 @@
+lib/sim/time.ml: Float Format Stdlib

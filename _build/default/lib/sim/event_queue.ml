@@ -1,0 +1,103 @@
+type 'a cell = {
+  time : Time.cycles;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type handle = H : 'a cell -> handle
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  (* Slots >= [size] are stale copies kept only to satisfy the array type. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable clock : Time.cycles;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0; clock = Time.zero }
+
+let is_empty q = q.live = 0
+let length q = q.live
+let now q = q.clock
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && precedes q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && precedes q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let schedule q ~time payload =
+  assert (time >= q.clock);
+  let cell = { time; seq = q.next_seq; payload; cancelled = false; fired = false } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.heap then begin
+    let cap = Stdlib.max 16 (2 * Array.length q.heap) in
+    let heap' = Array.make cap cell in
+    Array.blit q.heap 0 heap' 0 q.size;
+    q.heap <- heap'
+  end;
+  q.heap.(q.size) <- cell;
+  q.size <- q.size + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.size - 1);
+  H cell
+
+let cancel q (H cell) =
+  if not cell.cancelled && not cell.fired then begin
+    cell.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let remove_top q =
+  let top = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  top
+
+let rec pop q =
+  if q.size = 0 then None
+  else begin
+    let top = remove_top q in
+    if top.cancelled then pop q
+    else begin
+      top.fired <- true;
+      q.live <- q.live - 1;
+      q.clock <- top.time;
+      Some (top.time, top.payload)
+    end
+  end
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else if q.heap.(0).cancelled then begin
+    (* Drop stale entries eagerly so peeking stays amortised O(1). *)
+    ignore (remove_top q);
+    peek_time q
+  end
+  else Some q.heap.(0).time

@@ -1,0 +1,37 @@
+(** Pending-event set of the discrete-event simulator.
+
+    A binary min-heap keyed by [(time, sequence)]. The sequence number is a
+    monotonically increasing tie-breaker so that events scheduled for the
+    same instant fire in insertion order — this makes the whole simulation
+    deterministic without relying on heap internals. Events may be
+    cancelled in O(1) (lazy deletion). *)
+
+type 'a t
+(** A queue of events carrying payloads of type ['a]. *)
+
+type handle
+(** Names one scheduled event, for cancellation. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Live (non-cancelled) event count. *)
+
+val schedule : 'a t -> time:Time.cycles -> 'a -> handle
+(** [schedule q ~time payload] inserts an event. [time] must be
+    [>= now q] if the queue has ever been popped; this is asserted. *)
+
+val cancel : 'a t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pop : 'a t -> (Time.cycles * 'a) option
+(** Removes and returns the earliest live event. [None] when empty. *)
+
+val peek_time : 'a t -> Time.cycles option
+(** Time of the earliest live event without removing it. *)
+
+val now : 'a t -> Time.cycles
+(** Time of the last popped event (simulation clock); {!Time.zero}
+    initially. *)

@@ -1,0 +1,15 @@
+type cycles = int
+
+let zero = 0
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let max = Stdlib.max
+let min = Stdlib.min
+
+let of_seconds ~cycles_per_second s =
+  if s <= 0.0 then 0
+  else Stdlib.max 1 (int_of_float (Float.round (s *. float_of_int cycles_per_second)))
+
+let to_seconds ~cycles_per_second c = float_of_int c /. float_of_int cycles_per_second
+
+let pp ppf c = Format.fprintf ppf "%dcy" c

@@ -1,0 +1,25 @@
+(** Simulated time.
+
+    All simulator time is measured in integer {e cycles}. A configurable
+    conversion factor ([cycles_per_second], carried by the machine model)
+    relates cycles to the paper's wall-clock quantities such as exception
+    rates in exceptions/second. Using integers keeps the discrete-event
+    queue total-order stable and the simulation exactly reproducible. *)
+
+type cycles = int
+(** A duration or an absolute instant, in cycles. Always non-negative. *)
+
+val zero : cycles
+val ( + ) : cycles -> cycles -> cycles
+val ( - ) : cycles -> cycles -> cycles
+val max : cycles -> cycles -> cycles
+val min : cycles -> cycles -> cycles
+
+val of_seconds : cycles_per_second:int -> float -> cycles
+(** [of_seconds ~cycles_per_second s] converts a wall-clock duration;
+    rounds to the nearest cycle, never below 1 for positive [s]. *)
+
+val to_seconds : cycles_per_second:int -> cycles -> float
+
+val pp : Format.formatter -> cycles -> unit
+(** Prints as e.g. ["12_345cy"]. *)

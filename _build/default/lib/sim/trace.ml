@@ -1,0 +1,48 @@
+type t = {
+  entries : (Time.cycles * string) array;
+  capacity : int;
+  mutable next : int;
+  mutable total : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    entries = Array.make (Stdlib.max 1 capacity) (Time.zero, "");
+    capacity = Stdlib.max 1 capacity;
+    next = 0;
+    total = 0;
+    on = true;
+  }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let record t time msg =
+  if t.on then begin
+    t.entries.(t.next) <- (time, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t time fmt =
+  Format.kasprintf
+    (fun msg -> if t.on then record t time msg)
+    fmt
+
+let to_list t =
+  let n = Stdlib.min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i -> t.entries.((start + i) mod t.capacity))
+
+let find t ~substring =
+  let contains s sub =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    lsub = 0 || go 0
+  in
+  List.find_opt (fun (_, m) -> contains m substring) (to_list t)
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,29 @@
+(** Bounded execution trace for debugging and tests.
+
+    A fixed-capacity ring of timestamped strings. Recording is cheap and
+    allocation-bounded, so executors can leave tracing on; tests inspect
+    the tail to assert on event ordering. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity is 4096 entries. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** A disabled trace drops all records; recording calls stay valid. *)
+
+val record : t -> Time.cycles -> string -> unit
+
+val recordf :
+  t -> Time.cycles -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only built when tracing is on. *)
+
+val to_list : t -> (Time.cycles * string) list
+(** Oldest first; at most [capacity] entries. *)
+
+val find : t -> substring:string -> (Time.cycles * string) option
+(** First (oldest) retained entry whose message contains [substring]. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/vm/builder.ml: Array Env Isa List Printf

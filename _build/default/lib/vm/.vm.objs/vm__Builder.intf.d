@@ -1,0 +1,1 @@
+lib/vm/builder.mli: Env Isa

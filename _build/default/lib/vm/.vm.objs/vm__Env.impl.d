@@ -1,0 +1,1 @@
+lib/vm/env.ml: Array

@@ -1,0 +1,1 @@
+lib/vm/io.ml: Array Stdlib

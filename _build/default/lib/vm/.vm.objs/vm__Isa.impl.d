@@ -1,0 +1,1 @@
+lib/vm/isa.ml: Env List Printf

@@ -1,0 +1,1 @@
+lib/vm/isa.mli: Env

@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/vm/tcb.ml: Array Format Isa Stdlib

@@ -1,0 +1,1 @@
+lib/vm/tcb.mli: Format Isa

@@ -1,0 +1,131 @@
+type patch = Patch_goto | Patch_if of (Isa.regs -> bool)
+
+type proc_builder = {
+  name : string;
+  mutable instrs : Isa.instr list;  (* reverse order *)
+  mutable count : int;
+  mutable labels : int option array;  (* label id -> bound position *)
+  mutable n_labels : int;
+  mutable patches : (int * int * patch) list;  (* position, label, kind *)
+}
+
+type label = int
+
+let proc name =
+  { name; instrs = []; count = 0; labels = Array.make 8 None; n_labels = 0; patches = [] }
+
+let fresh_label b =
+  if b.n_labels = Array.length b.labels then begin
+    let labels' = Array.make (2 * b.n_labels) None in
+    Array.blit b.labels 0 labels' 0 b.n_labels;
+    b.labels <- labels'
+  end;
+  b.n_labels <- b.n_labels + 1;
+  b.n_labels - 1
+
+let bind b l =
+  match b.labels.(l) with
+  | Some _ -> invalid_arg "Builder.bind: label already bound"
+  | None -> b.labels.(l) <- Some b.count
+
+let emit b i =
+  b.instrs <- i :: b.instrs;
+  b.count <- b.count + 1
+
+let here b = b.count
+
+let goto b l =
+  b.patches <- (b.count, l, Patch_goto) :: b.patches;
+  emit b (Isa.Goto (-1))
+
+let if_to b cond l =
+  b.patches <- (b.count, l, Patch_if cond) :: b.patches;
+  emit b (Isa.If { cond; target = -1 })
+
+let while_ b cond body =
+  let top = fresh_label b and exit_l = fresh_label b in
+  bind b top;
+  if_to b (fun regs -> not (cond regs)) exit_l;
+  body ();
+  goto b top;
+  bind b exit_l
+
+let set_reg b r f = emit b (Isa.Work { cost = (fun _ -> 0); run = (fun env -> Env.set env r (f env.Env.regs)) })
+
+let for_up b ~reg ~from ~until body =
+  set_reg b reg from;
+  while_ b (fun regs -> regs.(reg) < until regs) (fun () ->
+      body ();
+      set_reg b reg (fun regs -> regs.(reg) + 1))
+
+let work b ~cost run = emit b (Isa.Work { cost; run })
+let work_const b c run = emit b (Isa.Work { cost = (fun _ -> c); run })
+let compute b c = emit b (Isa.Work { cost = (fun _ -> c); run = (fun _ -> ()) })
+
+let lock b m = emit b (Isa.Lock { m })
+let unlock b m = emit b (Isa.Unlock { m })
+let lock_const b m = lock b (fun _ -> m)
+let unlock_const b m = unlock b (fun _ -> m)
+let barrier b n = emit b (Isa.Barrier { b = n })
+let cond_wait b ~c ~m = emit b (Isa.Cond_wait { c; m })
+let cond_signal b c = emit b (Isa.Cond_signal { c; all = false })
+let cond_broadcast b c = emit b (Isa.Cond_signal { c; all = true })
+let atomic b ~var ~dst rmw = emit b (Isa.Atomic { var; rmw; dst })
+let nonstd_atomic b ~var ~dst rmw = emit b (Isa.Nonstd_atomic { var; rmw; dst })
+let fork b ~group ~proc ~dst args = emit b (Isa.Fork { group; proc; args; dst })
+let join b tid = emit b (Isa.Join { tid })
+let join_reg b r = join b (fun regs -> regs.(r))
+let alloc b ~size ~dst = emit b (Isa.Alloc { size; dst })
+let free b addr = emit b (Isa.Free { addr })
+let cpr_begin b = emit b Isa.Cpr_begin
+let cpr_end b = emit b Isa.Cpr_end
+let opaque b ~cost run = emit b (Isa.Opaque { cost; run })
+let exit_ b = emit b Isa.Exit
+
+let finish b =
+  let code = Array.of_list (List.rev b.instrs) in
+  List.iter
+    (fun (pos, l, kind) ->
+      match b.labels.(l) with
+      | None -> invalid_arg (Printf.sprintf "Builder.finish(%s): unbound label" b.name)
+      | Some target -> (
+        match kind with
+        | Patch_goto -> code.(pos) <- Isa.Goto target
+        | Patch_if cond -> code.(pos) <- Isa.If { cond; target }))
+    b.patches;
+  { Isa.pname = b.name; code }
+
+type program_builder = unit
+
+let program ?(mem_words = 1 lsl 20) ?(reserved_words = 0) ?(n_mutexes = 0)
+    ?(n_condvars = 0) ?(n_atomics = 0) ?(barrier_parties = [||])
+    ?(n_groups = 1) ?group_weights ?(input_files = []) ?(output_files = [])
+    ~entry procs =
+  if reserved_words >= mem_words then
+    invalid_arg "Builder.program: reserved_words must be below mem_words";
+  let group_weights =
+    match group_weights with
+    | Some w ->
+      if Array.length w <> n_groups then
+        invalid_arg "Builder.program: group_weights length <> n_groups";
+      w
+    | None -> Array.make n_groups 1
+  in
+  let tagged = List.map (fun (p : Isa.proc) -> (p.Isa.pname, p)) procs in
+  (match List.assoc_opt entry tagged with
+  | Some _ -> ()
+  | None -> invalid_arg "Builder.program: entry proc not among procs");
+  {
+    Isa.procs = tagged;
+    entry;
+    n_mutexes;
+    n_condvars;
+    n_atomics;
+    barrier_parties;
+    n_groups;
+    group_weights;
+    mem_words;
+    reserved_words;
+    input_files;
+    output_files;
+  }

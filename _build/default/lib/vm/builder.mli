@@ -1,0 +1,121 @@
+(** Assembler eDSL for virtual-ISA procedures and programs.
+
+    Workloads build procedures with forward-referencing labels and
+    structured loop combinators, then assemble a {!Isa.program} together
+    with the synchronization-object counts, thread-group weights, and input
+    files. Example:
+
+    {[
+      let p = Builder.proc "worker" in
+      Builder.for_up p ~reg:1 ~from:(fun _ -> 0) ~until:(fun r -> r.(0))
+        (fun () -> Builder.compute p 500);
+      Builder.exit_ p
+    ]} *)
+
+type proc_builder
+
+type label
+
+val proc : string -> proc_builder
+(** Start a procedure named [string]. *)
+
+val fresh_label : proc_builder -> label
+
+val bind : proc_builder -> label -> unit
+(** Place the label at the current instruction position. Each label must be
+    bound exactly once. *)
+
+val emit : proc_builder -> Isa.instr -> unit
+(** Emit a raw instruction. [Goto]/[If] targets emitted this way must be
+    final indices; prefer {!goto}/{!if_to} for label targets. *)
+
+val here : proc_builder -> int
+(** Index of the next instruction to be emitted. *)
+
+(** {1 Control flow} *)
+
+val goto : proc_builder -> label -> unit
+val if_to : proc_builder -> (Isa.regs -> bool) -> label -> unit
+
+val while_ : proc_builder -> (Isa.regs -> bool) -> (unit -> unit) -> unit
+(** [while_ p cond body] loops [body] while [cond regs] holds. *)
+
+val for_up :
+  proc_builder ->
+  reg:int ->
+  from:(Isa.regs -> int) ->
+  until:(Isa.regs -> int) ->
+  (unit -> unit) ->
+  unit
+(** Counted loop: [reg] runs from [from regs] while [< until regs],
+    incremented after each body iteration. The bounds are re-evaluated
+    against the registers each iteration, so the body may use [reg]. *)
+
+(** {1 Compute} *)
+
+val work : proc_builder -> cost:(Isa.regs -> int) -> (Env.t -> unit) -> unit
+val work_const : proc_builder -> int -> (Env.t -> unit) -> unit
+val compute : proc_builder -> int -> unit
+(** Pure delay of the given cycles, no effects. *)
+
+val set_reg : proc_builder -> int -> (Isa.regs -> int) -> unit
+(** Zero-cost register assignment (address arithmetic). *)
+
+(** {1 Synchronization and runtime calls} *)
+
+val lock : proc_builder -> (Isa.regs -> int) -> unit
+val unlock : proc_builder -> (Isa.regs -> int) -> unit
+val lock_const : proc_builder -> int -> unit
+val unlock_const : proc_builder -> int -> unit
+val barrier : proc_builder -> int -> unit
+val cond_wait : proc_builder -> c:int -> m:int -> unit
+val cond_signal : proc_builder -> int -> unit
+val cond_broadcast : proc_builder -> int -> unit
+
+val atomic :
+  proc_builder -> var:(Isa.regs -> int) -> dst:int -> (old:int -> Isa.regs -> int) -> unit
+
+val nonstd_atomic :
+  proc_builder -> var:(Isa.regs -> int) -> dst:int -> (old:int -> Isa.regs -> int) -> unit
+
+val fork :
+  proc_builder -> group:int -> proc:string -> dst:int -> (Isa.regs -> int array) -> unit
+
+val join : proc_builder -> (Isa.regs -> int) -> unit
+val join_reg : proc_builder -> int -> unit
+(** Join on the tid stored in the given register. *)
+
+val alloc : proc_builder -> size:(Isa.regs -> int) -> dst:int -> unit
+val free : proc_builder -> (Isa.regs -> int) -> unit
+val cpr_begin : proc_builder -> unit
+val cpr_end : proc_builder -> unit
+val opaque : proc_builder -> cost:(Isa.regs -> int) -> (Env.t -> unit) -> unit
+val exit_ : proc_builder -> unit
+
+val finish : proc_builder -> Isa.proc
+(** Resolve labels and freeze. Raises [Invalid_argument] on unbound labels
+    or doubly-bound labels. *)
+
+(** {1 Program assembly} *)
+
+type program_builder
+
+val program :
+  ?mem_words:int ->
+  ?reserved_words:int ->
+  ?n_mutexes:int ->
+  ?n_condvars:int ->
+  ?n_atomics:int ->
+  ?barrier_parties:int array ->
+  ?n_groups:int ->
+  ?group_weights:int array ->
+  ?input_files:(string * int array) list ->
+  ?output_files:string list ->
+  entry:string ->
+  Isa.proc list ->
+  Isa.program
+(** Assemble a program. Defaults: 1 MiW memory, no static reservation, no
+    sync objects, one thread group with weight 1, no files.
+    [reserved_words] carves the low addresses out of the runtime
+    allocator — any program that uses both fixed-address data and
+    [Alloc] must reserve its static area. *)

@@ -1,0 +1,79 @@
+type t = {
+  cycles_per_second : int;
+  mem_access : int;
+  lock : int;
+  unlock : int;
+  atomic : int;
+  barrier_entry : int;
+  condvar : int;
+  fork_thread : int;
+  join : int;
+  ctx_switch : int;
+  quantum : int;
+  alloc : int;
+  free : int;
+  reg_checkpoint : int;
+  cow_first_write : int;
+  record_per_word : int;
+  restore_per_word : int;
+  barrier_coord : int;
+  token_pass : int;
+  subthread_create : int;
+  rol_insert : int;
+  rol_retire : int;
+  wal_append : int;
+  wal_undo : int;
+  steal : int;
+  pause_resume : int;
+  detection_latency : int;
+  io_setup : int;
+  io_per_word : int;
+}
+
+let default =
+  {
+    cycles_per_second = 10_000_000;
+    mem_access = 2;
+    lock = 40;
+    unlock = 20;
+    atomic = 30;
+    barrier_entry = 120;
+    condvar = 60;
+    fork_thread = 30_000;
+    join = 200;
+    ctx_switch = 2_000;
+    quantum = 100_000;
+    alloc = 150;
+    free = 100;
+    reg_checkpoint = 150;
+    cow_first_write = 4;
+    record_per_word = 4;
+    restore_per_word = 4;
+    barrier_coord = 500;
+    token_pass = 80;
+    subthread_create = 250;
+    rol_insert = 60;
+    rol_retire = 60;
+    wal_append = 30;
+    wal_undo = 30;
+    steal = 300;
+    pause_resume = 3_000;
+    detection_latency = 40_000;
+    io_setup = 400;
+    io_per_word = 1;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>cycles_per_second=%d mem_access=%d lock=%d unlock=%d atomic=%d@,\
+     barrier_entry=%d condvar=%d fork_thread=%d join=%d ctx_switch=%d quantum=%d@,\
+     alloc=%d free=%d reg_checkpoint=%d cow_first_write=%d record/word=%d restore/word=%d@,\
+     barrier_coord=%d token_pass=%d subthread_create=%d rol_insert=%d rol_retire=%d@,\
+     wal_append=%d wal_undo=%d steal=%d pause_resume=%d detection_latency=%d@,\
+     io_setup=%d io_per_word=%d@]"
+    c.cycles_per_second c.mem_access c.lock c.unlock c.atomic c.barrier_entry
+    c.condvar c.fork_thread c.join c.ctx_switch c.quantum c.alloc c.free
+    c.reg_checkpoint c.cow_first_write c.record_per_word c.restore_per_word
+    c.barrier_coord c.token_pass c.subthread_create c.rol_insert c.rol_retire
+    c.wal_append c.wal_undo c.steal c.pause_resume c.detection_latency
+    c.io_setup c.io_per_word

@@ -1,0 +1,12 @@
+type t = {
+  tid : int;
+  regs : int array;
+  read : int -> int;
+  write : int -> int -> unit;
+  file_size : int -> int;
+  file_read : int -> off:int -> int;
+  file_write : int -> off:int -> int -> unit;
+}
+
+let get t r = t.regs.(r)
+let set t r v = t.regs.(r) <- v

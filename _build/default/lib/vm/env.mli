@@ -1,0 +1,25 @@
+(** Execution environment handed to a [Work] instruction's closure.
+
+    This is the only door through which workload code touches simulated
+    state. Every shared-memory and file access goes through the hooks the
+    executor installed, which (a) charge access cycles and (b) capture
+    old values for rollback — the mechanism behind both GPRS's
+    copy-on-write sub-thread checkpoints and CPR's incremental state
+    recording. Registers are thread-private and are checkpointed wholesale
+    at sub-thread boundaries, so direct access is safe. *)
+
+type t = {
+  tid : int;  (** virtual thread id of the executing thread *)
+  regs : int array;  (** the thread's registers, mutable in place *)
+  read : int -> int;  (** tracked shared-memory read *)
+  write : int -> int -> unit;  (** tracked shared-memory write *)
+  file_size : int -> int;
+  file_read : int -> off:int -> int;
+  file_write : int -> off:int -> int -> unit;
+}
+
+val get : t -> int -> int
+(** [get env r] reads register [r]. *)
+
+val set : t -> int -> int -> unit
+(** [set env r v] writes register [r]. *)

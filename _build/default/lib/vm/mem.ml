@@ -1,0 +1,119 @@
+type addr = int
+
+type t = {
+  mutable data : int array;
+  mutable static_brk : int;
+  (* Free blocks sorted by address; first-fit with splitting. *)
+  mutable free_list : (addr * int) list;
+  allocated : (addr, int) Hashtbl.t;
+}
+
+let create ~words =
+  {
+    data = Array.make words 0;
+    static_brk = 0;
+    free_list = [ (0, words) ];
+    allocated = Hashtbl.create 64;
+  }
+
+let words t = Array.length t.data
+
+let read t a = t.data.(a)
+let write t a v = t.data.(a) <- v
+
+let take_front t n =
+  (* Shrink the lowest free block; used by [reserve] so static data sits at
+     the bottom of memory. *)
+  match t.free_list with
+  | (a, sz) :: rest when a = t.static_brk && sz >= n ->
+    t.free_list <- (if sz = n then rest else (a + n, sz - n) :: rest);
+    t.static_brk <- t.static_brk + n;
+    a
+  | _ -> failwith "Mem.reserve: static area exhausted"
+
+let reserve t n =
+  if n <= 0 then invalid_arg "Mem.reserve: size must be positive";
+  take_front t n
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Mem.alloc: size must be positive";
+  let rec fit acc = function
+    | [] -> failwith "Mem.alloc: out of simulated memory"
+    | (a, sz) :: rest when sz >= n ->
+      let remainder = if sz = n then rest else (a + n, sz - n) :: rest in
+      t.free_list <- List.rev_append acc remainder;
+      Hashtbl.replace t.allocated a n;
+      a
+    | blk :: rest -> fit (blk :: acc) rest
+  in
+  fit [] t.free_list
+
+let insert_free t a n =
+  let rec go = function
+    | [] -> [ (a, n) ]
+    | (b, sz) :: rest when a < b -> (a, n) :: (b, sz) :: rest
+    | blk :: rest -> blk :: go rest
+  in
+  t.free_list <- go t.free_list
+
+let free t a =
+  match Hashtbl.find_opt t.allocated a with
+  | None -> invalid_arg "Mem.free: not an allocated block"
+  | Some n ->
+    Hashtbl.remove t.allocated a;
+    insert_free t a n
+
+let block_size t a = Hashtbl.find_opt t.allocated a
+
+let undo_alloc t a = free t a
+
+let undo_free t a ~size =
+  (* Remove the exact block from the free list and mark it allocated. *)
+  let rec go = function
+    | [] -> invalid_arg "Mem.undo_free: block not free"
+    | (b, sz) :: rest when b = a && sz = size -> rest
+    | (b, sz) :: rest when b = a && sz > size -> (b + size, sz - size) :: rest
+    | blk :: rest -> blk :: go rest
+  in
+  t.free_list <- go t.free_list;
+  Hashtbl.replace t.allocated a size
+
+let live_blocks t =
+  Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.allocated []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+type alloc_state = {
+  a_static_brk : int;
+  a_free_list : (addr * int) list;
+  a_allocated : (addr * int) list;
+}
+
+let save_alloc t =
+  {
+    a_static_brk = t.static_brk;
+    a_free_list = t.free_list;
+    a_allocated = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.allocated [];
+  }
+
+let restore_alloc t s =
+  t.static_brk <- s.a_static_brk;
+  t.free_list <- s.a_free_list;
+  Hashtbl.reset t.allocated;
+  List.iter (fun (k, v) -> Hashtbl.replace t.allocated k v) s.a_allocated
+
+let snapshot t =
+  {
+    data = Array.copy t.data;
+    static_brk = t.static_brk;
+    free_list = t.free_list;
+    allocated = Hashtbl.copy t.allocated;
+  }
+
+let restore t ~from =
+  if Array.length t.data = Array.length from.data then
+    Array.blit from.data 0 t.data 0 (Array.length t.data)
+  else t.data <- Array.copy from.data;
+  t.static_brk <- from.static_brk;
+  t.free_list <- from.free_list;
+  Hashtbl.reset t.allocated;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.allocated k v) from.allocated

@@ -1,0 +1,67 @@
+(** Simulated shared memory with a deterministic word allocator.
+
+    Memory is a flat array of integer words. Workloads obtain regions
+    through {!alloc}/{!free} — the simulated runtime allocator whose
+    operations GPRS logs in its write-ahead log — or through static
+    reservations made by the program builder.
+
+    The memory itself performs no undo tracking: executors capture old
+    values through their tracked {!Env.t} write hooks. What memory does
+    provide is the allocator's inverse operations ({!undo_alloc},
+    {!undo_free}) required for WAL-driven recovery, and deep
+    {!snapshot}/{!restore} used by the coordinated-CPR baseline. *)
+
+type addr = int
+
+type t
+
+val create : words:int -> t
+(** Fresh zeroed memory of [words] words, all managed by the allocator. *)
+
+val words : t -> int
+
+val read : t -> addr -> int
+val write : t -> addr -> int -> unit
+
+val reserve : t -> int -> addr
+(** Static carve-out used by program setup (inputs, result areas); never
+    freed, not WAL-relevant. *)
+
+val alloc : t -> int -> addr
+(** First-fit allocation from the free list; deterministic. Raises
+    [Failure] when out of memory (simulated OOM is an executor-visible
+    exception in tests). *)
+
+val free : t -> addr -> unit
+(** Returns a block to the free list. Raises [Invalid_argument] on a
+    non-allocated address — workloads are expected to be correct. *)
+
+val block_size : t -> addr -> int option
+(** Size of a live allocated block, if [addr] is one. *)
+
+val undo_alloc : t -> addr -> unit
+(** Inverse of {!alloc} for WAL recovery: the block returns to the free
+    list exactly as [free] would place it. *)
+
+val undo_free : t -> addr -> size:int -> unit
+(** Inverse of {!free} for WAL recovery: re-registers the block as
+    allocated. *)
+
+val live_blocks : t -> (addr * int) list
+(** Allocated blocks, sorted by address; used by tests and by CPR
+    snapshots. *)
+
+type alloc_state
+(** Opaque copy of the allocator metadata (free list + live blocks),
+    excluding data words. CPR snapshots this cheaply at every checkpoint;
+    data words are restored through undo logs instead. *)
+
+val save_alloc : t -> alloc_state
+
+val restore_alloc : t -> alloc_state -> unit
+
+val snapshot : t -> t
+(** Deep copy (data + allocator state). *)
+
+val restore : t -> from:t -> unit
+(** Overwrite [t] in place with the contents of a snapshot. *)

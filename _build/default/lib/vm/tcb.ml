@@ -1,0 +1,81 @@
+type wait =
+  | Runnable
+  | On_mutex of int
+  | On_cond of { c : int; m : int }
+  | Reacquire of int
+  | On_barrier of int
+  | On_join of int
+  | On_token
+  | Done
+
+type t = {
+  tid : int;
+  group : int;
+  proc : Isa.proc;
+  mutable pc : int;
+  regs : int array;
+  mutable wait : wait;
+  mutable joiners : int list;
+  mutable in_cpr_region : bool;
+  mutable lock_depth : int;
+  barrier_seq : int array;
+  barrier_done : int array;
+}
+
+type saved = {
+  s_pc : int;
+  s_regs : int array;
+  s_in_cpr : bool;
+  s_lock_depth : int;
+  s_barrier_seq : int array;
+}
+
+let create ~n_barriers ~tid ~group ~proc ~args =
+  let regs = Array.make Isa.n_registers 0 in
+  Array.blit args 0 regs 0 (Stdlib.min (Array.length args) Isa.n_registers);
+  {
+    tid;
+    group;
+    proc;
+    pc = 0;
+    regs;
+    wait = Runnable;
+    joiners = [];
+    in_cpr_region = false;
+    lock_depth = 0;
+    barrier_seq = Array.make n_barriers 0;
+    barrier_done = Array.make n_barriers 0;
+  }
+
+let current_instr t =
+  if t.pc >= 0 && t.pc < Array.length t.proc.Isa.code then
+    Some t.proc.Isa.code.(t.pc)
+  else None
+
+let copy_state t =
+  {
+    s_pc = t.pc;
+    s_regs = Array.copy t.regs;
+    s_in_cpr = t.in_cpr_region;
+    s_lock_depth = t.lock_depth;
+    s_barrier_seq = Array.copy t.barrier_seq;
+  }
+
+let restore_state t s =
+  t.pc <- s.s_pc;
+  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
+  t.in_cpr_region <- s.s_in_cpr;
+  t.lock_depth <- s.s_lock_depth;
+  Array.blit s.s_barrier_seq 0 t.barrier_seq 0 (Array.length t.barrier_seq)
+
+let saved_words s = 2 + Array.length s.s_regs + Array.length s.s_barrier_seq
+
+let pp_wait ppf = function
+  | Runnable -> Format.pp_print_string ppf "runnable"
+  | On_mutex m -> Format.fprintf ppf "on_mutex(%d)" m
+  | On_cond { c; m } -> Format.fprintf ppf "on_cond(%d,m%d)" c m
+  | Reacquire m -> Format.fprintf ppf "reacquire(%d)" m
+  | On_barrier b -> Format.fprintf ppf "on_barrier(%d)" b
+  | On_join t -> Format.fprintf ppf "on_join(%d)" t
+  | On_token -> Format.pp_print_string ppf "on_token"
+  | Done -> Format.pp_print_string ppf "done"

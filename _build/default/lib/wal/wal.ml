@@ -1,0 +1,55 @@
+type op =
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int; size : int }
+  | Thread_create of { tid : int }
+  | Rol_insert of { sub : int }
+  | Sched_enqueue of { sub : int }
+  | Io_op of { file : int; words : int }
+
+type entry = { lsn : int; order : int; op : op }
+
+type t = {
+  mutable entries : entry list;  (* newest first *)
+  mutable next_lsn : int;
+  mutable live : int;
+  mutable hw : int;
+}
+
+let create () = { entries = []; next_lsn = 0; live = 0; hw = 0 }
+
+let append t ~order op =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.entries <- { lsn; order; op } :: t.entries;
+  t.live <- t.live + 1;
+  if t.live > t.hw then t.hw <- t.live;
+  lsn
+
+let size t = t.live
+let high_water t = t.hw
+
+let entries_for t ~orders = List.filter (fun e -> orders e.order) t.entries
+
+let drop_for t ~orders =
+  let kept, dropped = List.partition (fun e -> not (orders e.order)) t.entries in
+  t.entries <- kept;
+  let n = List.length dropped in
+  t.live <- t.live - n;
+  n
+
+let prune_below t ~order =
+  let kept, dropped = List.partition (fun e -> e.order >= order) t.entries in
+  t.entries <- kept;
+  let n = List.length dropped in
+  t.live <- t.live - n;
+  n
+
+let all t = List.rev t.entries
+
+let pp_op ppf = function
+  | Alloc { addr; size } -> Format.fprintf ppf "alloc(%d,%d)" addr size
+  | Free { addr; size } -> Format.fprintf ppf "free(%d,%d)" addr size
+  | Thread_create { tid } -> Format.fprintf ppf "thread_create(%d)" tid
+  | Rol_insert { sub } -> Format.fprintf ppf "rol_insert(%d)" sub
+  | Sched_enqueue { sub } -> Format.fprintf ppf "sched_enqueue(%d)" sub
+  | Io_op { file; words } -> Format.fprintf ppf "io(%d,%d)" file words

@@ -1,0 +1,54 @@
+(** Write-ahead log for the GPRS runtime's own state.
+
+    GPRS cannot protect its internal structures (work queues, allocator
+    lists, the reorder list) with the same checkpoints it keeps for user
+    state — applying CPR to the runtime "will lead to the same problem
+    that it is attempting to solve" (§3.2 of the paper). Instead, each
+    runtime operation is performed on behalf of some sub-thread and is
+    logged, tagged with that sub-thread's order, to stable storage before
+    it executes (write-ahead, in the style of ARIES). Recovery walks the
+    log backwards and undoes the operations belonging to squashed
+    sub-threads; retirement prunes the prefix belonging to retired ones.
+
+    The log stores the {e descriptions} of operations; the engine owns the
+    inverse actions (e.g. {!Vm.Mem.undo_alloc}). *)
+
+type op =
+  | Alloc of { addr : int; size : int }  (** runtime allocator gave out a block *)
+  | Free of { addr : int; size : int }  (** runtime allocator reclaimed a block *)
+  | Thread_create of { tid : int }  (** TCB and stack were materialized *)
+  | Rol_insert of { sub : int }  (** a reorder-list entry was added *)
+  | Sched_enqueue of { sub : int }  (** a sub-thread entered a work queue *)
+  | Io_op of { file : int; words : int }  (** a file operation's metadata *)
+
+type entry = { lsn : int; order : int; op : op }
+
+type t
+
+val create : unit -> t
+
+val append : t -> order:int -> op -> int
+(** Logs the operation on behalf of the sub-thread with the given order;
+    returns the LSN. LSNs are strictly increasing. *)
+
+val size : t -> int
+(** Live (unpruned) entries — the bounded quantity the paper keeps in
+    check by pruning at retirement. *)
+
+val high_water : t -> int
+(** Maximum live size ever observed. *)
+
+val entries_for : t -> orders:(int -> bool) -> entry list
+(** Entries whose sub-thread order satisfies the predicate, newest first —
+    the order in which recovery must undo them. *)
+
+val drop_for : t -> orders:(int -> bool) -> int
+(** Remove those entries (they were undone); returns how many. *)
+
+val prune_below : t -> order:int -> int
+(** Retirement: drop all entries with [order < order]; returns how many. *)
+
+val all : t -> entry list
+(** Oldest first; for tests. *)
+
+val pp_op : Format.formatter -> op -> unit

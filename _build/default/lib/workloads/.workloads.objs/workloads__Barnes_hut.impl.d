@@ -1,0 +1,1 @@
+lib/workloads/barnes_hut.ml: Array Exec Inputs Stdlib Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/barnes_hut.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Array Exec Inputs Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.mli: Workload

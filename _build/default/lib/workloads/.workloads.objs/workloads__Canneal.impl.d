@@ -1,0 +1,1 @@
+lib/workloads/canneal.ml: Exec Inputs Vm Workload

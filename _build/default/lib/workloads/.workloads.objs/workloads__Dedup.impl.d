@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Array Fifo Inputs Stdlib Vm Workload

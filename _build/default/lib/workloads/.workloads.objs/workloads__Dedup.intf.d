@@ -1,0 +1,1 @@
+lib/workloads/dedup.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/fifo.ml: Array Vm

@@ -1,0 +1,1 @@
+lib/workloads/histogram.ml: Array Exec Inputs Stdlib Vm Workload

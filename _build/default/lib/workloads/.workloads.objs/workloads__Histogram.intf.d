@@ -1,0 +1,1 @@
+lib/workloads/histogram.mli: Workload

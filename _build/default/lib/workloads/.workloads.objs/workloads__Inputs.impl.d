@@ -1,0 +1,1 @@
+lib/workloads/inputs.ml: Array Fun Sim Stdlib Workload

@@ -1,0 +1,1 @@
+lib/workloads/pbzip2.ml: Array Fifo Inputs Stdlib Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/pbzip2.mli: Workload

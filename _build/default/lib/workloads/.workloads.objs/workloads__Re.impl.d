@@ -1,0 +1,1 @@
+lib/workloads/re.ml: Array Exec Inputs Stdlib Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/reverse_index.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Barnes_hut Blackscholes Canneal Dedup Histogram List Pbzip2 Printf Re Reverse_index String Swaptions Wordcount Workload

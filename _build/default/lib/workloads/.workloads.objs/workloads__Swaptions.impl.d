@@ -1,0 +1,1 @@
+lib/workloads/swaptions.ml: Array Exec Stdlib Vm Workload

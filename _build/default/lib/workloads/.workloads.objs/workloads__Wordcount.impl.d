@@ -1,0 +1,1 @@
+lib/workloads/wordcount.ml: Array Exec Inputs Stdlib Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Char Exec List Printf Stdlib String Vm

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Exec Vm

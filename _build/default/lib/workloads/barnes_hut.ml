@@ -1,0 +1,99 @@
+(* Memory layout: bodies (4 words each: x y z m) at [bodies_base];
+   forces (1 word per body) after; tids after that. The "tree" is
+   summarized as a per-step multipole word at [tree_word] that the force
+   kernel reads, standing in for the serially built octree. *)
+
+let tree_word = 0
+let bodies_base = 16
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let n_bodies = int_of_float (1_500.0 *. scale) in
+  let steps = 5 in
+  let workers =
+    match grain with
+    | Workload.Default -> n_contexts
+    | Workload.Fine -> 2 * n_contexts
+  in
+  let forces_base = bodies_base + (4 * n_bodies) in
+  let tids_base = forces_base + n_bodies in
+  let input = Inputs.bodies ~n:n_bodies in
+  let per_body_force = 2_000 in
+  let worker = proc "worker" in
+  (* r0 = worker id; r2 = step counter *)
+  for_up worker ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> steps) (fun () ->
+      barrier worker 0 (* wait for the tree *);
+      (* Force kernel in <= 32-body Work instructions. r3 = cursor,
+         r4 = chunk end. *)
+      set_reg worker 3 (fun r ->
+          fst (Workload.chunk_bounds ~total:n_bodies ~parts:workers r.(0)));
+      set_reg worker 4 (fun r ->
+          snd (Workload.chunk_bounds ~total:n_bodies ~parts:workers r.(0)));
+      while_ worker
+        (fun r -> r.(3) < r.(4))
+        (fun () ->
+          work worker
+            ~cost:(fun r -> per_body_force * Stdlib.min 32 (r.(4) - r.(3)))
+            (fun env ->
+              let lo = Vm.Env.get env 3 in
+              let hi = Stdlib.min (Vm.Env.get env 4) (lo + 32) in
+              let tree = env.Vm.Env.read tree_word in
+              for b = lo to hi - 1 do
+                let x = env.Vm.Env.read (bodies_base + (4 * b)) in
+                let m = env.Vm.Env.read (bodies_base + (4 * b) + 3) in
+                let f = Workload.mix (x + (m * 131) + tree) land 0xFF in
+                env.Vm.Env.write (forces_base + b) (f - 128)
+              done);
+          set_reg worker 3 (fun r -> Stdlib.min r.(4) (r.(3) + 32)));
+      barrier worker 1 (* forces done *));
+  exit_ worker;
+  let main = proc "main" in
+  (* load bodies from the input file *)
+  work_const main (n_bodies * 4) (fun env ->
+      for k = 0 to (4 * n_bodies) - 1 do
+        env.Vm.Env.write (bodies_base + k) (env.Vm.Env.file_read 0 ~off:k)
+      done);
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  for_up main ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> steps) (fun () ->
+      (* serial tree build *)
+      work main
+        ~cost:(fun _ -> 5 * n_bodies)
+        (fun env ->
+          let acc = ref 0 in
+          for b = 0 to n_bodies - 1 do
+            acc := (!acc * 31) + env.Vm.Env.read (bodies_base + (4 * b)) land 0xFFFF
+          done;
+          env.Vm.Env.write tree_word !acc);
+      barrier main 0;
+      barrier main 1;
+      (* serial position update from forces *)
+      work main
+        ~cost:(fun _ -> 3 * n_bodies)
+        (fun env ->
+          for b = 0 to n_bodies - 1 do
+            let x = env.Vm.Env.read (bodies_base + (4 * b)) in
+            let f = env.Vm.Env.read (forces_base + b) in
+            env.Vm.Env.write (bodies_base + (4 * b)) (x + f)
+          done));
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~barrier_parties:[| workers + 1; workers + 1 |]
+    ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("bodies", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "barnes-hut";
+    comp_size = "large";
+    sync_freq = "low";
+    crit_size = "n/a";
+    pattern = "barrier-phased N-body";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:bodies_base ~n:512);
+  }

@@ -1,0 +1,9 @@
+(** Barnes-Hut: iterative barrier-phased N-body.
+
+    Table 2: large computations, low synchronization frequency. Each
+    timestep alternates a serial tree build (main) with a parallel force
+    phase (workers) separated by global barriers — the classic
+    bulk-synchronous shape. Positions after the last step feed the
+    digest. *)
+
+val spec : Workload.spec

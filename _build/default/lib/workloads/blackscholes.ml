@@ -1,0 +1,72 @@
+let results_base = 0
+let tids_base_off = 8  (* tids stored just past the results area *)
+
+let options_count ~scale = int_of_float (4_000.0 *. scale)
+
+(* A fixed-point stand-in for the Black-Scholes closed form: iterated
+   CNDF-flavoured polynomial mixing. Pure, so re-execution after a squash
+   reproduces the price. *)
+let price_one ~spot ~strike ~vol ~expiry =
+  let acc = ref (spot * 1000 / strike) in
+  for k = 1 to 16 do
+    let t = Workload.mix ((!acc * 31) + (vol * k) + expiry) in
+    acc := ((!acc * 7) + (t land 0xFFFF)) / 8
+  done;
+  !acc land 0xFFFFFF
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let n_opts = options_count ~scale in
+  let workers =
+    match grain with
+    | Workload.Default -> n_contexts
+    | Workload.Fine -> n_opts (* one option per thread: Table 2's ~100k threads *)
+  in
+  let input = Inputs.prices ~n:n_opts in
+  let tids_base = results_base + n_opts + tids_base_off in
+  let per_option_cost = 20_000 in
+  let worker = proc "worker" in
+  (* One Work instruction per option: realistic loop granularity, so the
+     OS quantum and CPR's quiesce interleave with the computation. *)
+  set_reg worker 2 (fun r -> fst (Workload.chunk_bounds ~total:n_opts ~parts:workers r.(0)));
+  set_reg worker 3 (fun r -> snd (Workload.chunk_bounds ~total:n_opts ~parts:workers r.(0)));
+  while_ worker
+    (fun r -> r.(2) < r.(3))
+    (fun () ->
+      work worker
+        ~cost:(fun _ -> per_option_cost)
+        (fun env ->
+          let i = Vm.Env.get env 2 in
+          let spot = env.Vm.Env.file_read 0 ~off:(4 * i) in
+          let strike = env.Vm.Env.file_read 0 ~off:((4 * i) + 1) in
+          let vol = env.Vm.Env.file_read 0 ~off:((4 * i) + 2) in
+          let expiry = env.Vm.Env.file_read 0 ~off:((4 * i) + 3) in
+          env.Vm.Env.write (results_base + i) (price_one ~spot ~strike ~vol ~expiry));
+      set_reg worker 2 (fun r -> r.(2) + 1));
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("options", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "blackscholes";
+    comp_size = "large";
+    sync_freq = "low";
+    crit_size = "n/a";
+    pattern = "fork/join data-parallel";
+    weights = None;
+    build;
+    digest =
+      (fun r ->
+        (* The result area size depends on scale; hash a prefix that every
+           configuration fills. *)
+        Workload.digest_cells r.Exec.State.final_mem ~lo:results_base ~n:512);
+  }

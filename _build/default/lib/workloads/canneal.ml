@@ -1,0 +1,70 @@
+let sum_cell = 0
+let elements_base = 16
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let n_elems = int_of_float (4_096.0 *. scale) in
+  let swaps = int_of_float (600.0 *. scale) in
+  let workers =
+    match grain with
+    | Workload.Default -> n_contexts
+    | Workload.Fine -> 2 * n_contexts
+  in
+  let tids_base = elements_base + n_elems in
+  let input = Inputs.elements ~n:n_elems in
+  let worker = proc "worker" in
+  (* The annealing loop lives in a CPR (hybrid-recovery) region: the
+     non-standard spin-gate below is invisible to DEX. *)
+  cpr_begin worker;
+  for_up worker ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> swaps) (fun () ->
+      (* home-spun "lock": a non-standard atomic test-and-set retried in
+         program order; contention is modelled by the RMW cost *)
+      nonstd_atomic worker ~var:(fun _ -> 0) ~dst:3 (fun ~old _ -> old + 1);
+      work_const worker 400 (fun env ->
+          let w = Vm.Env.get env 0 and k = Vm.Env.get env 2 in
+          let r = Workload.mix ((w * 131_071) + k) in
+          let i = elements_base + (r mod n_elems) in
+          let j = elements_base + ((r / n_elems) mod n_elems) in
+          let a = env.Vm.Env.read i and b = env.Vm.Env.read j in
+          (* accept the swap when it reduces "routing cost" *)
+          if (a - b) * (i - j) > 0 then begin
+            env.Vm.Env.write i b;
+            env.Vm.Env.write j a
+          end);
+      nonstd_atomic worker ~var:(fun _ -> 0) ~dst:3 (fun ~old _ -> old - 1));
+  cpr_end worker;
+  exit_ worker;
+  let main = proc "main" in
+  (* load placement *)
+  work_const main n_elems (fun env ->
+      for k = 0 to n_elems - 1 do
+        env.Vm.Env.write (elements_base + k) (env.Vm.Env.file_read 0 ~off:k)
+      done);
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  work_const main (2 * n_elems) (fun env ->
+      let s = ref 0 in
+      for k = 0 to n_elems - 1 do
+        s := !s + env.Vm.Env.read (elements_base + k)
+      done;
+      env.Vm.Env.write sum_cell !s);
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~n_atomics:1 ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("netlist", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "canneal";
+    comp_size = "small";
+    sync_freq = "medium";
+    crit_size = "small";
+    pattern = "annealing, non-standard sync (hybrid recovery)";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:sum_cell ~n:1);
+  }

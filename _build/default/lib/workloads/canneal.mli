@@ -1,0 +1,14 @@
+(** Canneal (PARSEC): annealing with non-standard synchronization.
+
+    Table 2: small computations, medium synchronization frequency, small
+    critical sections. Canneal synchronizes with home-spun atomic swap
+    operations that GPRS does not intercept (§4 of the paper: "Canneal
+    uses non-standard APIs ... GPRS cannot be applied without altering
+    the program"), so the main computation is wrapped in
+    [Cpr_begin]/[Cpr_end] and recovered with the {e hybrid} scheme.
+
+    The digest is the element sum — invariant under any legal schedule of
+    swaps (placement is a permutation), so it doubles as a conservation
+    oracle. *)
+
+val spec : Workload.spec

@@ -1,0 +1,181 @@
+let block_words = 40
+let hash_slots = 2048
+
+(* Memory layout. *)
+let qa_base = 0
+let qa = { Fifo.base = qa_base; cap = 4; width = 2; mutex = 0; not_full = 0; not_empty = 1 }
+let qb_base = qa_base + Fifo.words ~cap:4 ~width:2
+let qb = { Fifo.base = qb_base; cap = 16; width = 2; mutex = 1; not_full = 2; not_empty = 3 }
+let qc_base = qb_base + Fifo.words ~cap:16 ~width:2
+let qc = { Fifo.base = qc_base; cap = 16; width = 3; mutex = 2; not_full = 4; not_empty = 5 }
+let qd_base = qc_base + Fifo.words ~cap:16 ~width:3
+let qd = { Fifo.base = qd_base; cap = 16; width = 3; mutex = 3; not_full = 6; not_empty = 7 }
+let hash_base = qd_base + Fifo.words ~cap:16 ~width:3
+let tids_base = hash_base + hash_slots
+
+let hash_mutex = 4
+
+let build ~n_contexts ~grain:_ ~scale =
+  let open Vm.Builder in
+  let n_blocks = Stdlib.max 1 (int_of_float (16.0 *. scale)) in
+  let n_chunks = n_blocks * block_words in
+  let par = Stdlib.max 1 ((n_contexts - 3) / 2) in
+  let input = Inputs.blocks_file ~n:n_chunks in
+
+  (* --- reader: blocks into FIFO A ----------------------------------- *)
+  let reader = proc "reader" in
+  for_up reader ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> n_blocks) (fun () ->
+      alloc reader ~size:(fun _ -> block_words) ~dst:11;
+      work_const reader (2 * block_words) (fun env ->
+          let idx = Vm.Env.get env 2 and buf = Vm.Env.get env 11 in
+          for k = 0 to block_words - 1 do
+            env.Vm.Env.write (buf + k)
+              (env.Vm.Env.file_read 0 ~off:((idx * block_words) + k))
+          done;
+          Vm.Env.set env 10 idx);
+      Fifo.emit_push reader qa ~payload_reg:10);
+  set_reg reader 10 (fun _ -> -1);
+  set_reg reader 11 (fun _ -> 0);
+  Fifo.emit_push reader qa ~payload_reg:10;
+  exit_ reader;
+
+  (* --- chunker: split blocks into word-chunks into FIFO B ------------ *)
+  let chunker = proc "chunker" in
+  let ch_loop = fresh_label chunker and ch_done = fresh_label chunker in
+  bind chunker ch_loop;
+  Fifo.emit_pop chunker qa ~payload_reg:10;
+  if_to chunker (fun r -> r.(10) < 0) ch_done;
+  for_up chunker ~reg:3 ~from:(fun _ -> 0) ~until:(fun _ -> block_words) (fun () ->
+      work_const chunker 10 (fun env ->
+          let blk = Vm.Env.get env 10
+          and buf = Vm.Env.get env 11
+          and k = Vm.Env.get env 3 in
+          Vm.Env.set env 14 ((blk * block_words) + k);
+          Vm.Env.set env 15 (env.Vm.Env.read (buf + k)));
+      (* payload regs 14,15 = chunk idx, value *)
+      Fifo.emit_push chunker qb ~payload_reg:14);
+  free chunker (fun r -> r.(11));
+  goto chunker ch_loop;
+  bind chunker ch_done;
+  for_up chunker ~reg:3 ~from:(fun _ -> 0) ~until:(fun _ -> par) (fun () ->
+      set_reg chunker 14 (fun _ -> -1);
+      set_reg chunker 15 (fun _ -> 0);
+      Fifo.emit_push chunker qb ~payload_reg:14);
+  exit_ chunker;
+
+  (* --- hashers: dedup against the shared hash set -------------------- *)
+  let hasher = proc "hasher" in
+  let h_loop = fresh_label hasher and h_done = fresh_label hasher in
+  bind hasher h_loop;
+  Fifo.emit_pop hasher qb ~payload_reg:10;
+  if_to hasher (fun r -> r.(10) < 0) h_done;
+  compute hasher 200 (* chunk fingerprint *);
+  lock_const hasher hash_mutex;
+  work_const hasher 60 (fun env ->
+      (* open-addressing insert of the value; r12 = 1 when duplicate *)
+      let v = Vm.Env.get env 11 in
+      let rec probe i guard =
+        if guard = 0 then Vm.Env.set env 12 0
+        else
+          let slot = hash_base + ((Workload.mix v + i) mod hash_slots) in
+          let cur = env.Vm.Env.read slot in
+          if cur = v + 1 then Vm.Env.set env 12 1
+          else if cur = 0 then begin
+            env.Vm.Env.write slot (v + 1);
+            Vm.Env.set env 12 0
+          end
+          else probe (i + 1) (guard - 1)
+      in
+      probe 0 hash_slots);
+  unlock_const hasher hash_mutex;
+  Fifo.emit_push hasher qc ~payload_reg:10;
+  goto hasher h_loop;
+  bind hasher h_done;
+  set_reg hasher 10 (fun _ -> -1);
+  Fifo.emit_push hasher qc ~payload_reg:10;
+  exit_ hasher;
+
+  (* --- compressors: encode unique chunks ----------------------------- *)
+  let comp = proc "comp" in
+  let c_loop = fresh_label comp and c_done = fresh_label comp in
+  bind comp c_loop;
+  Fifo.emit_pop comp qc ~payload_reg:10;
+  if_to comp (fun r -> r.(10) < 0) c_done;
+  (* Duplicates are cheap (a reference), unique chunks pay the encoder;
+     the emitted code is a pure function of the value either way, so the
+     output is canonical under any schedule. *)
+  work comp
+    ~cost:(fun r -> if r.(12) = 1 then 50 else 400)
+    (fun env ->
+      let v = Vm.Env.get env 11 in
+      Vm.Env.set env 11 (Workload.mix v land 0xFFFF));
+  Fifo.emit_push comp qd ~payload_reg:10;
+  goto comp c_loop;
+  bind comp c_done;
+  set_reg comp 10 (fun _ -> -1);
+  Fifo.emit_push comp qd ~payload_reg:10;
+  exit_ comp;
+
+  (* --- writer: the dominant serial stage ----------------------------- *)
+  let writer = proc "writer" in
+  set_reg writer 4 (fun _ -> 0) (* poisons seen *);
+  set_reg writer 5 (fun _ -> 0) (* chunks written *);
+  let w_loop = fresh_label writer and w_done = fresh_label writer in
+  bind writer w_loop;
+  if_to writer (fun r -> r.(5) >= n_chunks && r.(4) >= par) w_done;
+  Fifo.emit_pop writer qd ~payload_reg:10;
+  let w_poison = fresh_label writer and w_next = fresh_label writer in
+  if_to writer (fun r -> r.(10) < 0) w_poison;
+  work_const writer 120 (fun env ->
+      let idx = Vm.Env.get env 10 and enc = Vm.Env.get env 11 in
+      env.Vm.Env.file_write 1 ~off:idx enc;
+      Vm.Env.set env 5 (Vm.Env.get env 5 + 1));
+  goto writer w_next;
+  bind writer w_poison;
+  set_reg writer 4 (fun r -> r.(4) + 1);
+  bind writer w_next;
+  goto writer w_loop;
+  bind writer w_done;
+  exit_ writer;
+
+  (* --- main ----------------------------------------------------------- *)
+  let main = proc "main" in
+  let put_tid slot =
+    work_const main 1 (fun env -> env.Vm.Env.write (tids_base + slot) (Vm.Env.get env 1))
+  in
+  fork main ~group:0 ~proc:"reader" ~dst:1 (fun _ -> [||]);
+  put_tid 0;
+  fork main ~group:1 ~proc:"chunker" ~dst:1 (fun _ -> [||]);
+  put_tid 1;
+  for i = 0 to par - 1 do
+    fork main ~group:2 ~proc:"hasher" ~dst:1 (fun _ -> [||]);
+    put_tid (2 + i)
+  done;
+  for i = 0 to par - 1 do
+    fork main ~group:3 ~proc:"comp" ~dst:1 (fun _ -> [||]);
+    put_tid (2 + par + i)
+  done;
+  fork main ~group:4 ~proc:"writer" ~dst:1 (fun _ -> [||]);
+  put_tid (2 + (2 * par));
+  Workload.join_workers main ~n:(3 + (2 * par)) ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + (3 + (2 * par)) + 65_536)
+    ~reserved_words:(tids_base + 3 + (2 * par))
+    ~n_mutexes:5 ~n_condvars:8 ~n_groups:5
+    ~group_weights:[| 2; 2; 2; 2; 1 |] ~entry:"main"
+    ~input_files:[ ("archive", input) ]
+    ~output_files:[ "deduped" ]
+    [ finish main; finish reader; finish chunker; finish hasher; finish comp; finish writer ]
+
+let spec =
+  {
+    Workload.name = "dedup";
+    comp_size = "small";
+    sync_freq = "high";
+    crit_size = "small";
+    pattern = "5-stage pipeline, serial output stage dominates";
+    weights = Some [| 2; 2; 2; 2; 1 |];
+    build;
+    digest = Workload.digest_outputs;
+  }

@@ -1,0 +1,13 @@
+(** Dedup (PARSEC): five-stage deduplicating compression pipeline.
+
+    Table 2: small computations, high synchronization frequency, and by
+    far the most sub-threads of the suite — the workload where GPRS's
+    per-sub-thread bookkeeping is most visible (the paper reports 32%
+    ordering overhead and notes that CPR's barriers are comparatively
+    cheap here because the serial output stage dominates scaling).
+
+    Stages: read → chunk → hash (parallel, shared hash-set under a lock)
+    → compress (parallel) → write (serial, the scaling bottleneck).
+    Duplicate chunks are emitted as zero-references. *)
+
+val spec : Workload.spec

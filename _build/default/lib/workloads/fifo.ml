@@ -1,0 +1,56 @@
+type t = {
+  base : int;
+  cap : int;
+  width : int;
+  mutex : int;
+  not_full : int;
+  not_empty : int;
+}
+
+let words ~cap ~width = 3 + (cap * width)
+
+let count q = q.base
+let head q = q.base + 1
+let tail q = q.base + 2
+let slots q = q.base + 3
+
+let scratch = 20
+
+(* while (pred-of-count fails) cond_wait; — the standard predicate loop. *)
+let emit_guard b q ~cond ~cv =
+  let open Vm.Builder in
+  let top = fresh_label b and go = fresh_label b in
+  bind b top;
+  work_const b 5 (fun env -> Vm.Env.set env scratch (env.Vm.Env.read (count q)));
+  if_to b (fun r -> cond r.(scratch)) go;
+  cond_wait b ~c:cv ~m:q.mutex;
+  goto b top;
+  bind b go
+
+let emit_push b q ~payload_reg =
+  let open Vm.Builder in
+  lock_const b q.mutex;
+  emit_guard b q ~cond:(fun c -> c < q.cap) ~cv:q.not_full;
+  work_const b 20 (fun env ->
+      let t = env.Vm.Env.read (tail q) in
+      for k = 0 to q.width - 1 do
+        env.Vm.Env.write (slots q + (t * q.width) + k) (Vm.Env.get env (payload_reg + k))
+      done;
+      env.Vm.Env.write (tail q) ((t + 1) mod q.cap);
+      env.Vm.Env.write (count q) (env.Vm.Env.read (count q) + 1));
+  cond_signal b q.not_empty;
+  unlock_const b q.mutex
+
+let emit_pop b q ~payload_reg =
+  let open Vm.Builder in
+  lock_const b q.mutex;
+  emit_guard b q ~cond:(fun c -> c > 0) ~cv:q.not_empty;
+  work_const b 20 (fun env ->
+      let h = env.Vm.Env.read (head q) in
+      for k = 0 to q.width - 1 do
+        Vm.Env.set env (payload_reg + k) (env.Vm.Env.read (slots q + (h * q.width) + k))
+      done;
+      env.Vm.Env.write (head q) ((h + 1) mod q.cap);
+      env.Vm.Env.write (count q) (env.Vm.Env.read (count q) - 1));
+  cond_signal b q.not_full;
+  unlock_const b q.mutex

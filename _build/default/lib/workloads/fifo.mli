@@ -1,0 +1,31 @@
+(** Lock-protected bounded FIFO emitter.
+
+    The communication idiom of the paper's pipeline benchmarks (Pbzip2's
+    read→compress and compress→write queues, Dedup's inter-stage queues):
+    a circular buffer in shared memory guarded by one mutex and a pair of
+    condition variables (not-full / not-empty), with the
+    while-predicate-wait pattern.
+
+    [emit_push]/[emit_pop] generate the instruction sequences into a
+    procedure. Payloads are [width] consecutive registers starting at
+    [payload_reg]. Registers 20–21 are clobbered as scratch. *)
+
+type t = {
+  base : int;  (** first memory word: layout is count, head, tail, slots *)
+  cap : int;  (** capacity in entries *)
+  width : int;  (** payload words per entry *)
+  mutex : int;
+  not_full : int;  (** condvar signalled after a pop *)
+  not_empty : int;  (** condvar signalled after a push *)
+}
+
+val words : cap:int -> width:int -> int
+(** Memory footprint of a queue: [3 + cap*width]. *)
+
+val emit_push : Vm.Builder.proc_builder -> t -> payload_reg:int -> unit
+(** Blocks (cond-wait) while full; copies the payload registers into the
+    tail slot; signals [not_empty]. *)
+
+val emit_pop : Vm.Builder.proc_builder -> t -> payload_reg:int -> unit
+(** Blocks while empty; copies the head slot into the payload registers;
+    signals [not_full]. *)

@@ -1,0 +1,68 @@
+let bins = 64
+let final_base = 0
+let tids_base = 100
+let locals_base = 200
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let n_items = int_of_float (80_000.0 *. scale) in
+  let workers =
+    match grain with
+    | Workload.Default -> n_contexts
+    | Workload.Fine -> n_contexts (* already fine-grained (paper §4) *)
+  in
+  let input = Inputs.words_file ~n:n_items ~vocabulary:4096 in
+  let block = 4096 in
+  let worker = proc "worker" in
+  (* r0 = worker index; the chunk scan proceeds in <= [block]-item Work
+     instructions (loop granularity: quanta and checkpoints interleave). *)
+  set_reg worker 2 (fun r -> fst (Workload.chunk_bounds ~total:n_items ~parts:workers r.(0)));
+  set_reg worker 3 (fun r -> snd (Workload.chunk_bounds ~total:n_items ~parts:workers r.(0)));
+  while_ worker
+    (fun r -> r.(2) < r.(3))
+    (fun () ->
+      work worker
+        ~cost:(fun r -> 8 * Stdlib.min block (r.(3) - r.(2)))
+        (fun env ->
+          let w = Vm.Env.get env 0 in
+          let lo = Vm.Env.get env 2 in
+          let hi = Stdlib.min (Vm.Env.get env 3) (lo + block) in
+          let mine = locals_base + (w * bins) in
+          for i = lo to hi - 1 do
+            let v = env.Vm.Env.file_read 0 ~off:i in
+            let b = v * bins / 4096 in
+            env.Vm.Env.write (mine + b) (env.Vm.Env.read (mine + b) + 1)
+          done);
+      set_reg worker 2 (fun r -> Stdlib.min r.(3) (r.(2) + block)));
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  work_const main (workers * bins * 2) (fun env ->
+      for b = 0 to bins - 1 do
+        let s = ref 0 in
+        for w = 0 to workers - 1 do
+          s := !s + env.Vm.Env.read (locals_base + (w * bins) + b)
+        done;
+        env.Vm.Env.write (final_base + b) !s
+      done);
+  exit_ main;
+  program
+    ~mem_words:(locals_base + ((workers + 1) * bins) + 1024)
+    ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("pixels", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "histogram";
+    comp_size = "small";
+    sync_freq = "low";
+    crit_size = "n/a";
+    pattern = "fork/join data-parallel";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:final_base ~n:bins);
+  }

@@ -1,0 +1,8 @@
+(** Histogram (Phoenix suite): fork/join data-parallel binning.
+
+    Table 2: small computations, low synchronization frequency, no
+    critical sections. Workers bin a chunk of the input file into private
+    bin arrays; main merges them after the joins. Final bins live at
+    memory 0..63, which the digest covers. *)
+
+val spec : Workload.spec

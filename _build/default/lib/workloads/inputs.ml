@@ -1,0 +1,55 @@
+let words_file ~n ~vocabulary =
+  let g = Sim.Prng.create 0xC0FFEE in
+  Array.init n (fun _ ->
+      (* Squaring a uniform skews toward low ids, a cheap Zipf stand-in. *)
+      let u = Sim.Prng.float g 1.0 in
+      let z = int_of_float (u *. u *. float_of_int vocabulary) in
+      Stdlib.min (vocabulary - 1) z)
+
+let blocks_file ~n =
+  let g = Sim.Prng.create 0xB10C5 in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  while !i < n do
+    let run = 1 + Sim.Prng.int g 9 in
+    let v = Sim.Prng.int g 256 in
+    let stop = Stdlib.min n (!i + run) in
+    for j = !i to stop - 1 do
+      out.(j) <- v
+    done;
+    i := stop
+  done;
+  out
+
+let packet_trace ~n ~flows =
+  let g = Sim.Prng.create 0x9AC4E7 in
+  let payloads = Array.init flows (fun i -> Workload.mix (i + 17) land 0xFFFF) in
+  Array.init (2 * n) (fun k ->
+      if k mod 2 = 0 then Sim.Prng.int g flows
+      else begin
+        let flow = Sim.Prng.int g flows in
+        (* Payloads repeat within flows: redundancy for RE to find. *)
+        if Sim.Prng.int g 4 = 0 then Workload.mix k land 0xFFFF
+        else payloads.(flow)
+      end)
+
+let bodies ~n =
+  let g = Sim.Prng.create 0xB0D1E5 in
+  Array.init (4 * n) (fun k ->
+      if k mod 4 = 3 then 1 + Sim.Prng.int g 100 (* mass *)
+      else Sim.Prng.int g 10_000 - 5_000 (* coordinate *))
+
+let prices ~n =
+  let g = Sim.Prng.create 0x5715E5 in
+  Array.init (4 * n) (fun k ->
+      match k mod 4 with
+      | 0 -> 800 + Sim.Prng.int g 400 (* spot, fixed-point cents *)
+      | 1 -> 800 + Sim.Prng.int g 400 (* strike *)
+      | 2 -> 10 + Sim.Prng.int g 50 (* volatility, % *)
+      | _ -> 1 + Sim.Prng.int g 24 (* expiry, months *))
+
+let elements ~n =
+  let g = Sim.Prng.create 0xCA22EA1 in
+  let a = Array.init n Fun.id in
+  Sim.Prng.shuffle g a;
+  a

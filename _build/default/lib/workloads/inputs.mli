@@ -1,0 +1,31 @@
+(** Synthetic input generators.
+
+    Deterministic replacements for the paper's inputs (files, option
+    batches, bodies, network traces). Every generator is a pure function
+    of its own fixed seed, so a workload's input — and therefore its
+    fault-free result digest — is identical across engines and runs. *)
+
+val words_file : n:int -> vocabulary:int -> int array
+(** A "text": [n] word ids drawn (deterministically) from a Zipf-ish
+    skewed distribution over [vocabulary] ids. Used by WordCount,
+    ReverseIndex and Histogram. *)
+
+val blocks_file : n:int -> int array
+(** Compressible data: runs of repeated values with varying run lengths,
+    as a compression benchmark input (Pbzip2, Dedup). *)
+
+val packet_trace : n:int -> flows:int -> int array
+(** Network packets as (flow, payload-hash) pairs flattened into one
+    array; payloads repeat across packets within a flow, giving RE its
+    redundancy to detect. Length is [2n]. *)
+
+val bodies : n:int -> int array
+(** N-body initial positions/masses, 4 words per body (x, y, z, m). *)
+
+val prices : n:int -> int array
+(** Option-pricing inputs, 4 words per option (spot, strike, vol,
+    expiry), in fixed-point. *)
+
+val elements : n:int -> int array
+(** Circuit elements for Canneal: a permutation of 0..n-1 representing
+    placement. *)

@@ -1,0 +1,119 @@
+let block_words = 64
+let out_slot = (2 * block_words) + 2
+
+(* Memory layout: two FIFOs then the tid table. *)
+let fifo1_base = 0
+let q1 = { Fifo.base = fifo1_base; cap = 8; width = 2; mutex = 0; not_full = 0; not_empty = 1 }
+let fifo2_base = fifo1_base + 3 + (8 * 2)
+let q2 = { Fifo.base = fifo2_base; cap = 8; width = 3; mutex = 1; not_full = 2; not_empty = 3 }
+let tids_base = fifo2_base + 3 + (8 * 3)
+
+let build ~n_contexts ~grain:_ ~scale =
+  let open Vm.Builder in
+  let n_blocks = int_of_float (120.0 *. scale) in
+  let n_comp = Stdlib.max 1 (n_contexts - 2) in
+  let input = Inputs.blocks_file ~n:(n_blocks * block_words) in
+
+  (* --- read thread: file -> buffers -> FIFO1 ------------------------ *)
+  let reader = proc "reader" in
+  for_up reader ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> n_blocks) (fun () ->
+      alloc reader ~size:(fun _ -> block_words) ~dst:11;
+      work_const reader (4 * block_words) (fun env ->
+          let idx = Vm.Env.get env 2 and buf = Vm.Env.get env 11 in
+          for k = 0 to block_words - 1 do
+            env.Vm.Env.write (buf + k)
+              (env.Vm.Env.file_read 0 ~off:((idx * block_words) + k))
+          done;
+          Vm.Env.set env 10 idx);
+      Fifo.emit_push reader q1 ~payload_reg:10);
+  (* poison pills, one per compressor *)
+  for_up reader ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> n_comp) (fun () ->
+      set_reg reader 10 (fun _ -> -1);
+      set_reg reader 11 (fun _ -> 0);
+      Fifo.emit_push reader q1 ~payload_reg:10);
+  exit_ reader;
+
+  (* --- compress threads: FIFO1 -> RLE -> FIFO2 ---------------------- *)
+  let compressor = proc "compressor" in
+  let comp_loop = fresh_label compressor and comp_done = fresh_label compressor in
+  bind compressor comp_loop;
+  Fifo.emit_pop compressor q1 ~payload_reg:10;
+  if_to compressor (fun r -> r.(10) < 0) comp_done;
+  alloc compressor ~size:(fun _ -> out_slot) ~dst:12;
+  (* Compression dominates a block's cost (bzip2 burns hundreds of cycles
+     per byte); the FIFO critical sections stay small — Table 2's
+     medium-computation / small-critical-section profile. *)
+  work_const compressor (900 * block_words) (fun env ->
+      let buf = Vm.Env.get env 11 and out = Vm.Env.get env 12 in
+      (* run-length encode buf[0..B) into out[1..]; out[0] = length *)
+      let o = ref 1 in
+      let k = ref 0 in
+      while !k < block_words do
+        let v = env.Vm.Env.read (buf + !k) in
+        let run = ref 1 in
+        while !k + !run < block_words && env.Vm.Env.read (buf + !k + !run) = v do
+          incr run
+        done;
+        env.Vm.Env.write (out + !o) v;
+        env.Vm.Env.write (out + !o + 1) !run;
+        o := !o + 2;
+        k := !k + !run
+      done;
+      env.Vm.Env.write out (!o - 1);
+      Vm.Env.set env 13 (!o - 1));
+  free compressor (fun r -> r.(11));
+  (* payload: r10 = idx, r11 = out addr, r12 = out len *)
+  set_reg compressor 11 (fun r -> r.(12));
+  set_reg compressor 12 (fun r -> r.(13));
+  Fifo.emit_push compressor q2 ~payload_reg:10;
+  goto compressor comp_loop;
+  bind compressor comp_done;
+  exit_ compressor;
+
+  (* --- write thread: FIFO2 -> output file --------------------------- *)
+  let writer = proc "writer" in
+  for_up writer ~reg:2 ~from:(fun _ -> 0) ~until:(fun _ -> n_blocks) (fun () ->
+      Fifo.emit_pop writer q2 ~payload_reg:10;
+      work_const writer block_words (fun env ->
+          let idx = Vm.Env.get env 10
+          and out = Vm.Env.get env 11
+          and len = Vm.Env.get env 12 in
+          let off = idx * out_slot in
+          env.Vm.Env.file_write 1 ~off len;
+          for k = 1 to len do
+            env.Vm.Env.file_write 1 ~off:(off + k) (env.Vm.Env.read (out + k))
+          done);
+      free writer (fun r -> r.(11)));
+  exit_ writer;
+
+  (* --- main ---------------------------------------------------------- *)
+  let main = proc "main" in
+  fork main ~group:0 ~proc:"reader" ~dst:1 (fun _ -> [||]);
+  work_const main 1 (fun env -> env.Vm.Env.write tids_base (Vm.Env.get env 1));
+  Workload.spawn_workers main ~group:1 ~proc:"compressor" ~n:n_comp
+    ~tids_at:(tids_base + 1) ();
+  fork main ~group:2 ~proc:"writer" ~dst:1 (fun _ -> [||]);
+  work_const main 1 (fun env ->
+      env.Vm.Env.write (tids_base + 1 + n_comp) (Vm.Env.get env 1));
+  Workload.join_workers main ~n:(n_comp + 2) ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + n_comp + 2 + 65_536 + (n_blocks * block_words))
+    ~reserved_words:(tids_base + n_comp + 2)
+    ~n_mutexes:2 ~n_condvars:4 ~n_groups:3 ~group_weights:[| 4; 4; 1 |]
+    ~entry:"main"
+    ~input_files:[ ("raw", input) ]
+    ~output_files:[ "compressed" ]
+    [ finish main; finish reader; finish compressor; finish writer ]
+
+let spec =
+  {
+    Workload.name = "pbzip2";
+    comp_size = "medium";
+    sync_freq = "high";
+    crit_size = "small";
+    pattern = "read -> N x compress -> write pipeline";
+    weights = Some [| 4; 4; 1 |];
+    build;
+    digest = Workload.digest_outputs;
+  }

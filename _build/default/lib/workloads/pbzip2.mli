@@ -1,0 +1,14 @@
+(** Pbzip2: the paper's running example (Fig. 6/7).
+
+    A three-stage pipeline — one read thread, several compress threads,
+    one write thread — communicating through two lock-protected FIFOs
+    with condition-variable wait/signal. Round-robin ordering serializes
+    it (the paper measures 1014% overhead); the balance-aware schedule
+    restores the pipeline; the weighted schedule (4:4:1) does better
+    still.
+
+    Compression is run-length encoding of the block words; each block's
+    output goes to a fixed region of the output file ([pwrite]-style), so
+    the digest is schedule-independent. *)
+
+val spec : Workload.spec

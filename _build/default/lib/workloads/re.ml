@@ -1,0 +1,70 @@
+let table_slots = 1024
+let counters_base = 0 (* per-flow redundancy hits *)
+let total_cell = 128 (* total hits: schedule-independent *)
+let table_base = 256
+let tids_base = table_base + table_slots
+
+let build ~n_contexts ~grain:_ ~scale =
+  let open Vm.Builder in
+  let n_packets = int_of_float (3_000.0 *. scale) in
+  let flows = 64 in
+  let workers = Stdlib.max 1 (n_contexts - 1) in
+  let input = Inputs.packet_trace ~n:n_packets ~flows in
+  let worker = proc "worker" in
+  let loop = fresh_label worker and done_ = fresh_label worker in
+  bind worker loop;
+  (* claim the next packet with the ticket counter *)
+  atomic worker ~var:(fun _ -> 0) ~dst:2 (fun ~old _ -> old + 1);
+  if_to worker (fun r -> r.(2) >= n_packets) done_;
+  (* fingerprint the payload outside the lock *)
+  work_const worker 500 (fun env ->
+      let i = Vm.Env.get env 2 in
+      let flow = env.Vm.Env.file_read 0 ~off:(2 * i) in
+      let payload = env.Vm.Env.file_read 0 ~off:((2 * i) + 1) in
+      Vm.Env.set env 3 flow;
+      Vm.Env.set env 4 (Workload.mix payload land (table_slots - 1)));
+  (* medium critical section: probe and update the shared table *)
+  lock_const worker 0;
+  work_const worker 800 (fun env ->
+      let flow = Vm.Env.get env 3 and fp = Vm.Env.get env 4 in
+      let slot = table_base + fp in
+      if env.Vm.Env.read slot = fp + 1 then
+        (* redundancy hit: account it to the flow *)
+        env.Vm.Env.write (counters_base + flow)
+          (env.Vm.Env.read (counters_base + flow) + 1)
+      else env.Vm.Env.write slot (fp + 1));
+  unlock_const worker 0;
+  goto worker loop;
+  bind worker done_;
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  (* Total redundancy: the sum over flows is invariant under scheduling
+     even when fingerprints collide across flows. *)
+  work_const main 128 (fun env ->
+      let s = ref 0 in
+      for f = 0 to 63 do
+        s := !s + env.Vm.Env.read (counters_base + f)
+      done;
+      env.Vm.Env.write total_cell !s);
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~n_mutexes:1 ~n_atomics:1 ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("trace", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "re";
+    comp_size = "medium";
+    sync_freq = "medium";
+    crit_size = "medium";
+    pattern = "packet processing, shared redundancy table";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:total_cell ~n:1);
+  }

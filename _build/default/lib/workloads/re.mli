@@ -1,0 +1,11 @@
+(** RE (redundancy elimination, SIGMETRICS'09): packet processing.
+
+    Table 2: medium computations, medium synchronization frequency, and
+    the {e medium-sized critical sections} the paper added RE for
+    (standard benchmarks have only small ones). Threads claim packets
+    from the trace with an atomic ticket counter, fingerprint the payload
+    outside the lock, then probe-and-update the shared redundancy table
+    inside one lock-protected region. Per-flow hit/byte counters are
+    commutative, so the digest is schedule-independent. *)
+
+val spec : Workload.spec

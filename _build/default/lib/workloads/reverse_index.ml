@@ -1,0 +1,54 @@
+let n_buckets = 16
+let buckets_base = 0 (* per-bucket link counts *)
+let tids_base = 64
+
+let build ~n_contexts ~grain:_ ~scale =
+  let open Vm.Builder in
+  let n_links = int_of_float (4_000.0 *. scale) in
+  let workers = n_contexts in
+  let input = Inputs.words_file ~n:n_links ~vocabulary:(1 lsl 12) in
+  let worker = proc "worker" in
+  (* r0 = worker id; r2 = cursor within my chunk; r3 = chunk end *)
+  set_reg worker 2 (fun r ->
+      fst (Workload.chunk_bounds ~total:n_links ~parts:workers r.(0)));
+  set_reg worker 3 (fun r ->
+      snd (Workload.chunk_bounds ~total:n_links ~parts:workers r.(0)));
+  while_ worker
+    (fun r -> r.(2) < r.(3))
+    (fun () ->
+      (* data-parallel part: parse the document and extract the link *)
+      work_const worker 150 (fun env ->
+          let i = Vm.Env.get env 2 in
+          let link = env.Vm.Env.file_read 0 ~off:i in
+          Vm.Env.set env 4 (link mod n_buckets));
+      (* critical section on the link's bucket (dynamic mutex) *)
+      lock worker (fun r -> r.(4));
+      work_const worker 40 (fun env ->
+          let b = Vm.Env.get env 4 in
+          env.Vm.Env.write (buckets_base + b) (env.Vm.Env.read (buckets_base + b) + 1));
+      unlock worker (fun r -> r.(4));
+      set_reg worker 2 (fun r -> r.(2) + 1));
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~n_mutexes:n_buckets ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("pages", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "reverse-index";
+    comp_size = "small";
+    sync_freq = "medium";
+    crit_size = "small";
+    pattern = "data-parallel scan + per-bucket critical sections";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:buckets_base ~n:n_buckets);
+  }

@@ -1,0 +1,11 @@
+(** ReverseIndex (Phoenix suite): mixed parallelism.
+
+    Table 2: small computations, medium synchronization frequency, small
+    critical sections. The paper notes it mixes both styles: data-parallel
+    document scanning {e and} critical sections — workers scan chunks of
+    documents, then insert each discovered link into a shared index whose
+    buckets are guarded by per-bucket mutexes (a dynamic lock choice,
+    exercising dynamic mutex operands). Bucket counts are commutative and
+    feed the digest. *)
+
+val spec : Workload.spec

@@ -1,0 +1,23 @@
+let all =
+  [
+    Barnes_hut.spec;
+    Blackscholes.spec;
+    Canneal.spec;
+    Swaptions.spec;
+    Histogram.spec;
+    Pbzip2.spec;
+    Dedup.spec;
+    Re.spec;
+    Wordcount.spec;
+    Reverse_index.spec;
+  ]
+
+let names = List.map (fun s -> s.Workload.name) all
+
+let find name =
+  match List.find_opt (fun s -> s.Workload.name = name) all with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload %S (known: %s)" name
+         (String.concat ", " names))

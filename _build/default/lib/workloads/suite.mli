@@ -1,0 +1,11 @@
+(** The full benchmark suite (the paper's Table 2 programs). *)
+
+val all : Workload.spec list
+(** In the paper's Table 2 order: Barnes-Hut, Blackscholes, Canneal,
+    Swaptions, Histogram, Pbzip2, Dedup, RE, WordCount, ReverseIndex. *)
+
+val find : string -> Workload.spec
+(** Lookup by name; raises [Invalid_argument] with the list of known
+    names on a miss. *)
+
+val names : string list

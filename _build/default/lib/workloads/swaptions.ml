@@ -1,0 +1,80 @@
+let results_base = 0
+let n_swaptions = 128
+let tids_base = results_base + n_swaptions + 8
+
+let trials_chunk = 500
+
+(* One Monte-Carlo chunk: a deterministic reduction over mixed trial
+   values for trials [t0, t0+len). Pure, so replay after a squash
+   reproduces the partial sum. *)
+let simulate_chunk ~swaption ~t0 ~len ~acc =
+  let acc = ref acc in
+  for t = t0 + 1 to t0 + len do
+    let draw = Workload.mix ((swaption * 65_537) + t) in
+    acc := !acc + (draw land 0xFFFF) - 0x7FFF
+  done;
+  !acc
+
+let finalize ~swaption ~trials acc = (acc / trials) + (1000 * swaption mod 7919)
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let trials = Stdlib.max trials_chunk (int_of_float (20_000.0 *. scale)) in
+  let n_chunks = (trials + trials_chunk - 1) / trials_chunk in
+  (* Default: one thread per context, each pricing a range of swaptions.
+     Fine: one thread per swaption (the paper's 130 sub-threads). *)
+  let workers =
+    match grain with
+    | Workload.Default -> Stdlib.min n_swaptions n_contexts
+    | Workload.Fine -> n_swaptions
+  in
+  let per_trial_cost = 60 in
+  let worker = proc "worker" in
+  (* r2 = swaption cursor, r3 = end, r4 = chunk index, r5 = accumulator *)
+  set_reg worker 2 (fun r ->
+      fst (Workload.chunk_bounds ~total:n_swaptions ~parts:workers r.(0)));
+  set_reg worker 3 (fun r ->
+      snd (Workload.chunk_bounds ~total:n_swaptions ~parts:workers r.(0)));
+  while_ worker
+    (fun r -> r.(2) < r.(3))
+    (fun () ->
+      set_reg worker 5 (fun _ -> 0);
+      for_up worker ~reg:4 ~from:(fun _ -> 0) ~until:(fun _ -> n_chunks) (fun () ->
+          work worker
+            ~cost:(fun r ->
+              let t0 = r.(4) * trials_chunk in
+              per_trial_cost * Stdlib.min trials_chunk (trials - t0))
+            (fun env ->
+              let s = Vm.Env.get env 2 in
+              let t0 = Vm.Env.get env 4 * trials_chunk in
+              let len = Stdlib.min trials_chunk (trials - t0) in
+              Vm.Env.set env 5
+                (simulate_chunk ~swaption:s ~t0 ~len ~acc:(Vm.Env.get env 5))));
+      work_const worker 50 (fun env ->
+          let s = Vm.Env.get env 2 in
+          env.Vm.Env.write (results_base + s)
+            (finalize ~swaption:s ~trials (Vm.Env.get env 5)));
+      set_reg worker 2 (fun r -> r.(2) + 1));
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(tids_base + workers + 1024)
+    ~n_groups:2 ~entry:"main" [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "swaptions";
+    comp_size = "large";
+    sync_freq = "low";
+    crit_size = "n/a";
+    pattern = "fork/join, few huge computations";
+    weights = None;
+    build;
+    digest =
+      (fun r ->
+        Workload.digest_cells r.Exec.State.final_mem ~lo:results_base ~n:n_swaptions);
+  }

@@ -1,0 +1,8 @@
+(** Swaptions (PARSEC): fork/join Monte-Carlo pricing.
+
+    Table 2: very large computations, low synchronization frequency, and
+    the smallest sub-thread count of the suite (130 in the paper) — each
+    sub-thread is one long simulation, which is why Swaptions only
+    tolerates low exception rates in Fig. 10. *)
+
+val spec : Workload.spec

@@ -1,0 +1,68 @@
+let vocab = 128
+let global_base = 0
+let tids_base = 200
+let locals_base = 300
+
+let build ~n_contexts ~grain ~scale =
+  let open Vm.Builder in
+  let n_items = int_of_float (60_000.0 *. scale) in
+  let workers =
+    match grain with
+    | Workload.Default -> n_contexts
+    | Workload.Fine -> n_contexts (* already fine-grained (paper §4) *)
+  in
+  let input = Inputs.words_file ~n:n_items ~vocabulary:vocab in
+  let block = 4096 in
+  let worker = proc "worker" in
+  set_reg worker 2 (fun r -> fst (Workload.chunk_bounds ~total:n_items ~parts:workers r.(0)));
+  set_reg worker 3 (fun r -> snd (Workload.chunk_bounds ~total:n_items ~parts:workers r.(0)));
+  while_ worker
+    (fun r -> r.(2) < r.(3))
+    (fun () ->
+      work worker
+        ~cost:(fun r -> 6 * Stdlib.min block (r.(3) - r.(2)))
+        (fun env ->
+          let w = Vm.Env.get env 0 in
+          let lo = Vm.Env.get env 2 in
+          let hi = Stdlib.min (Vm.Env.get env 3) (lo + block) in
+          let mine = locals_base + (w * vocab) in
+          for i = lo to hi - 1 do
+            let v = env.Vm.Env.file_read 0 ~off:i in
+            env.Vm.Env.write (mine + v) (env.Vm.Env.read (mine + v) + 1)
+          done);
+      set_reg worker 2 (fun r -> Stdlib.min r.(3) (r.(2) + block)));
+  (* locked reduce: fold the private table into the global counts *)
+  lock_const worker 0;
+  work_const worker (vocab * 3) (fun env ->
+      let w = Vm.Env.get env 0 in
+      let mine = locals_base + (w * vocab) in
+      for v = 0 to vocab - 1 do
+        let c = env.Vm.Env.read (mine + v) in
+        if c > 0 then
+          env.Vm.Env.write (global_base + v) (env.Vm.Env.read (global_base + v) + c)
+      done);
+  unlock_const worker 0;
+  exit_ worker;
+  let main = proc "main" in
+  Workload.spawn_workers main ~group:1 ~proc:"worker" ~n:workers
+    ~tids_at:tids_base ();
+  Workload.join_workers main ~n:workers ~tids_at:tids_base;
+  exit_ main;
+  program
+    ~mem_words:(locals_base + ((workers + 1) * vocab) + 1024)
+    ~n_mutexes:1 ~n_groups:2 ~entry:"main"
+    ~input_files:[ ("text", input) ]
+    [ finish main; finish worker ]
+
+let spec =
+  {
+    Workload.name = "wordcount";
+    comp_size = "small";
+    sync_freq = "low";
+    crit_size = "small";
+    pattern = "map + locked reduce";
+    weights = None;
+    build;
+    digest =
+      (fun r -> Workload.digest_cells r.Exec.State.final_mem ~lo:global_base ~n:vocab);
+  }

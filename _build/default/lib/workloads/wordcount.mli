@@ -1,0 +1,8 @@
+(** WordCount (Phoenix suite): map with a locked reduce.
+
+    Table 2: small computations, low synchronization frequency. Workers
+    count word occurrences in private tables, then fold them into the
+    global table under a single mutex — one small critical section per
+    worker. Global counts live at memory 0..vocab-1. *)
+
+val spec : Workload.spec

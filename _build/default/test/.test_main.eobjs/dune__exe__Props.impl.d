@@ -1,0 +1,1 @@
+test/props.ml: Array Cpr Exec Faults Fun Gen Gprs Hashtbl List QCheck2 QCheck_alcotest Sched Sim Tprog Vm Workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Buffer Exec Float Format List Printf String Vm Workloads

@@ -1,0 +1,1 @@
+test/test_cpr.ml: Alcotest Array Cpr Exec Faults List Printf Sim Tprog Vm

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Exec List Printf Sim Vm

@@ -1,0 +1,1 @@
+test/test_gprs.ml: Alcotest Exec Gprs List Printf Sim Tprog Vm

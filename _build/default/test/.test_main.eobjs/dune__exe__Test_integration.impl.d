@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cpr Exec Faults Float Gprs List Printf Sim Vm Workloads

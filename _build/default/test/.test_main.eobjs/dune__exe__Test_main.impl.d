@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Props Test_analysis Test_cpr Test_exec Test_faults Test_gprs Test_integration Test_order Test_recovery Test_sched Test_sim Test_vm Test_wal Test_workloads

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Gprs List

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Cpr Exec Faults Gprs Printf Sim Tprog Vm

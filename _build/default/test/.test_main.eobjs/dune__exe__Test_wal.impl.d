@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Exec List Vm Wal

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cpr Exec Gprs List Printf String Vm Workloads

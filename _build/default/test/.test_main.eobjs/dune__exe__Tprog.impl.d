@@ -1,0 +1,1 @@
+test/tprog.ml: Array Vm

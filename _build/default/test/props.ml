@@ -1,0 +1,397 @@
+(* Property-based tests (qcheck) on the core data structures and the
+   system-level recovery invariant. *)
+
+let count = 200
+
+let case ?(count = count) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+open QCheck2
+
+(* --- PRNG ---------------------------------------------------------- *)
+
+let prop_prng_bounds =
+  case "prng: int always in bounds"
+    Gen.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Sim.Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Sim.Prng.int g bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_prng_copy_independent =
+  case "prng: copy diverges from original only by its own draws"
+    Gen.int
+    (fun seed ->
+      let a = Sim.Prng.create seed in
+      let b = Sim.Prng.copy a in
+      ignore (Sim.Prng.int64 b);
+      (* a's next draw is unaffected by b's *)
+      Sim.Prng.int64 a = Sim.Prng.int64 (Sim.Prng.copy (Sim.Prng.create seed)))
+
+(* --- Event queue: model-based against a sorted list ----------------- *)
+
+let prop_evq_sorted =
+  case "event queue: pops are time-sorted and complete"
+    Gen.(list_size (int_range 1 200) (int_range 0 10_000))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun t -> ignore (Sim.Event_queue.schedule q ~time:t t)) times;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let prop_evq_cancel =
+  case "event queue: cancelled events never fire"
+    Gen.(list_size (int_range 1 100) (pair (int_range 0 1000) bool))
+    (fun events ->
+      let q = Sim.Event_queue.create () in
+      let expected = ref [] in
+      List.iter
+        (fun (t, keep) ->
+          let h = Sim.Event_queue.schedule q ~time:t (t, keep) in
+          if keep then expected := t :: !expected
+          else Sim.Event_queue.cancel q h)
+        events;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (_, (t, keep)) ->
+          if not keep then raise Exit;
+          drain (t :: acc)
+      in
+      match drain [] with
+      | popped -> popped = List.sort compare !expected
+      | exception Exit -> false)
+
+(* --- Deque: model-based against a list ------------------------------ *)
+
+type dq_op = Push of int | Pop | Steal
+
+let dq_op_gen =
+  Gen.(
+    frequency
+      [ (3, map (fun v -> Push v) int); (2, pure Pop); (2, pure Steal) ])
+
+let prop_deque_model =
+  case "deque: matches list model under random ops"
+    Gen.(list_size (int_range 1 300) dq_op_gen)
+    (fun ops ->
+      let d = Sched.Deque.create () in
+      let model = ref [] (* front = top/oldest *) in
+      List.for_all
+        (fun op ->
+          match op with
+          | Push v ->
+            Sched.Deque.push_bottom d v;
+            model := !model @ [ v ];
+            true
+          | Pop -> (
+            let got = Sched.Deque.pop_bottom d in
+            match List.rev !model with
+            | [] -> got = None
+            | last :: rest_rev ->
+              model := List.rev rest_rev;
+              got = Some last)
+          | Steal -> (
+            let got = Sched.Deque.steal_top d in
+            match !model with
+            | [] -> got = None
+            | first :: rest ->
+              model := rest;
+              got = Some first))
+        ops)
+
+(* --- Allocator ------------------------------------------------------ *)
+
+let prop_alloc_no_overlap =
+  case "allocator: live blocks never overlap"
+    Gen.(list_size (int_range 1 60) (int_range 1 32))
+    (fun sizes ->
+      let m = Vm.Mem.create ~words:8192 in
+      let blocks = List.map (fun s -> (Vm.Mem.alloc m s, s)) sizes in
+      let sorted = List.sort compare blocks in
+      let rec no_overlap = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          a1 + s1 <= a2 && no_overlap rest
+        | _ -> true
+      in
+      no_overlap sorted)
+
+let prop_alloc_free_roundtrip =
+  case "allocator: alloc/free/undo round-trips"
+    Gen.(list_size (int_range 1 40) (pair (int_range 1 16) bool))
+    (fun plan ->
+      let m = Vm.Mem.create ~words:4096 in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_free) ->
+          let a = Vm.Mem.alloc m size in
+          if do_free then Vm.Mem.free m a else live := (a, size) :: !live)
+        plan;
+      List.for_all
+        (fun (a, s) -> Vm.Mem.block_size m a = Some s)
+        !live)
+
+(* --- Undo log: random writes restore exactly ------------------------ *)
+
+let prop_undo_restores =
+  case "undo log: replay restores the pre-state exactly"
+    Gen.(list_size (int_range 1 200) (pair (int_range 0 255) (int_range 0 1000)))
+    (fun writes ->
+      let m = Vm.Mem.create ~words:256 in
+      (* scatter an initial state *)
+      List.iteri (fun i (a, _) -> Vm.Mem.write m a (i * 7)) writes;
+      let initial = Array.init 256 (Vm.Mem.read m) in
+      let log = Exec.Undo_log.create () in
+      List.iter
+        (fun (a, v) ->
+          ignore (Exec.Undo_log.note log (Exec.Undo_log.K_mem a) ~old:(Vm.Mem.read m a));
+          Vm.Mem.write m a v)
+        writes;
+      ignore
+        (Exec.Undo_log.replay ~mem:m ~atomics:[||] ~io:(Vm.Io.create ()) log);
+      Array.for_all2 ( = ) initial (Array.init 256 (Vm.Mem.read m)))
+
+(* --- ROL ------------------------------------------------------------ *)
+
+let prop_rol_head_is_min =
+  case "rol: head is always the minimum live id"
+    Gen.(list_size (int_range 1 100) (int_range 0 999))
+    (fun ids ->
+      let ids = List.sort_uniq compare ids in
+      let rol = Gprs.Rol.create () in
+      let dummy_saved =
+        Vm.Tcb.copy_state
+          (Vm.Tcb.create ~n_barriers:0 ~tid:0 ~group:0
+             ~proc:{ Vm.Isa.pname = "p"; code = [| Vm.Isa.Exit |] }
+             ~args:[||])
+      in
+      List.iter
+        (fun id ->
+          Gprs.Rol.insert rol (Gprs.Subthread.make ~id ~tid:0 ~now:0 ~saved:dummy_saved))
+        ids;
+      (* remove a deterministic subset *)
+      let kept = List.filteri (fun i _ -> i mod 3 <> 0) ids in
+      List.iteri (fun i id -> if i mod 3 = 0 then Gprs.Rol.remove rol id) ids;
+      match (Gprs.Rol.head rol, kept) with
+      | None, [] -> true
+      | Some h, k :: _ -> h.Gprs.Subthread.id = k
+      | _ -> false)
+
+let prop_rol_retire_prefix =
+  case "rol: retire pops exactly the completed aged prefix"
+    Gen.(list_size (int_range 1 60) bool)
+    (fun completions ->
+      let rol = Gprs.Rol.create () in
+      let dummy_saved =
+        Vm.Tcb.copy_state
+          (Vm.Tcb.create ~n_barriers:0 ~tid:0 ~group:0
+             ~proc:{ Vm.Isa.pname = "p"; code = [| Vm.Isa.Exit |] }
+             ~args:[||])
+      in
+      List.iteri
+        (fun id complete ->
+          let sub = Gprs.Subthread.make ~id ~tid:0 ~now:0 ~saved:dummy_saved in
+          if complete then sub.Gprs.Subthread.status <- Gprs.Subthread.Complete 10;
+          Gprs.Rol.insert rol sub)
+        completions;
+      let retired = Gprs.Rol.retire_ready rol ~now:1000 ~latency:100 in
+      let expected_prefix =
+        let rec count = function true :: rest -> 1 + count rest | _ -> 0 in
+        count completions
+      in
+      List.length retired = expected_prefix)
+
+(* --- Order policies -------------------------------------------------- *)
+
+let prop_order_grants_eligible =
+  case "order: the holder is always live and eligible"
+    Gen.(
+      pair (int_range 1 10)
+        (list_size (int_range 1 80) (pair (int_range 0 9) bool)))
+    (fun (n_threads, toggles) ->
+      let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+      for tid = 0 to n_threads - 1 do
+        Gprs.Order.add_thread t ~tid ~group:0
+      done;
+      List.for_all
+        (fun (tid, elig) ->
+          Gprs.Order.set_eligible t (tid mod n_threads) elig;
+          match Gprs.Order.holder t with
+          | None -> true
+          | Some h ->
+            Gprs.Order.is_eligible t h
+            &&
+            (Gprs.Order.advance t ~granted:h;
+             true))
+        toggles)
+
+let prop_order_fair =
+  case "order: every eligible thread is granted within one rotation"
+    (Gen.int_range 2 12)
+    (fun n ->
+      let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+      for tid = 0 to n - 1 do
+        Gprs.Order.add_thread t ~tid ~group:0
+      done;
+      let seen = Array.make n false in
+      for _ = 1 to n do
+        match Gprs.Order.holder t with
+        | Some h ->
+          seen.(h) <- true;
+          Gprs.Order.advance t ~granted:h
+        | None -> ()
+      done;
+      Array.for_all Fun.id seen)
+
+(* --- chunk_bounds ----------------------------------------------------- *)
+
+let prop_chunks_partition =
+  case "chunk_bounds: chunks partition the range"
+    Gen.(pair (int_range 0 10_000) (int_range 1 64))
+    (fun (total, parts) ->
+      let ranges = List.init parts (Workloads.Workload.chunk_bounds ~total ~parts) in
+      let covered = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges in
+      let contiguous =
+        let rec go prev = function
+          | [] -> true
+          | (lo, hi) :: rest -> lo = prev && hi >= lo && go hi rest
+        in
+        go 0 ranges
+      in
+      covered = total && contiguous)
+
+(* --- Weighted order: turn-share matches weights ----------------------- *)
+
+let prop_weighted_turn_share =
+  case ~count:50 "order: weighted group gets its share of turns"
+    Gen.(pair (int_range 1 4) (int_range 1 4))
+    (fun (w0, w1) ->
+      let t = Gprs.Order.create Gprs.Order.Weighted ~group_weights:[| w0; w1 |] in
+      Gprs.Order.add_thread t ~tid:0 ~group:0;
+      Gprs.Order.add_thread t ~tid:1 ~group:1;
+      let turns0 = ref 0 and turns1 = ref 0 in
+      let cycles = 12 in
+      for _ = 1 to cycles * (w0 + w1) do
+        match Gprs.Order.holder t with
+        | Some 0 ->
+          incr turns0;
+          Gprs.Order.advance t ~granted:0
+        | Some 1 ->
+          incr turns1;
+          Gprs.Order.advance t ~granted:1
+        | Some _ | None -> ()
+      done;
+      !turns0 = cycles * w0 && !turns1 = cycles * w1)
+
+(* --- Scheduler conservation ------------------------------------------ *)
+
+let prop_scheduler_conservation =
+  case "scheduler: every enqueued item is taken exactly once"
+    Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 1 200) (pair (int_range 0 7) (int_range 0 10_000))))
+    (fun (n_ctx, items) ->
+      let s = Sched.Scheduler.create Sched.Scheduler.Work_steal ~n_contexts:n_ctx in
+      List.iteri
+        (fun i (hint, _) -> Sched.Scheduler.enqueue s ~ctx_hint:hint (i + 1))
+        items;
+      let taken = Hashtbl.create 64 in
+      let rec drain ctx =
+        match Sched.Scheduler.take s ~ctx with
+        | Some (x, _) ->
+          if Hashtbl.mem taken x then raise Exit;
+          Hashtbl.add taken x ();
+          drain ((ctx + 1) mod n_ctx)
+        | None -> ()
+      in
+      (match drain 0 with () -> () | exception Exit -> ());
+      Hashtbl.length taken = List.length items && Sched.Scheduler.is_empty s)
+
+(* --- Barrier counters -------------------------------------------------- *)
+
+let prop_barrier_counters =
+  case ~count:40 "barriers: seq = done for every thread after a clean run"
+    Gen.(pair (int_range 2 6) (int_range 1 4))
+    (fun (n, _steps) ->
+      let p = Tprog.barrier_phases ~n () in
+      let r =
+        Gprs.Engine.run { Gprs.Engine.default_config with n_contexts = 3 } p
+      in
+      (not r.Exec.State.dnc) && Vm.Mem.read r.Exec.State.final_mem 0 = 0)
+
+(* --- System-level: globally precise restart -------------------------- *)
+
+let prop_gprs_recovery_exact =
+  case ~count:25 "gprs: faulty run's result equals the fault-free result"
+    Gen.(quad (int_range 2 5) (int_range 4 14) (int_range 1 10_000) (int_range 1 6))
+    (fun (workers, iters, seed, rate10) ->
+      (* Rates up to 60/s: comfortably below the livelock threshold of
+         this single-mutex workload (every sub-thread aliases the lock,
+         so a fault squashes the whole unretired suffix; losses must stay
+         under the inter-fault gap for progress). *)
+      let p = Tprog.locked_counter ~work:20_000 ~workers ~iters () in
+      let r =
+        Gprs.Engine.run
+          {
+            Gprs.Engine.default_config with
+            n_contexts = 4;
+            seed;
+            injector =
+              Faults.Injector.config ~seed
+                ~process:Faults.Injector.Poisson (float_of_int rate10 *. 10.0);
+            max_cycles = Some 2_000_000_000;
+          }
+          p
+      in
+      (not r.Exec.State.dnc)
+      && Vm.Mem.read r.Exec.State.final_mem 0 = workers * iters)
+
+let prop_cpr_recovery_exact =
+  case ~count:15 "cpr: faulty run's result equals the fault-free result"
+    Gen.(triple (int_range 2 4) (int_range 4 10) (int_range 1 10_000))
+    (fun (workers, iters, seed) ->
+      let p = Tprog.locked_counter ~work:20_000 ~workers ~iters () in
+      let r =
+        Cpr.run
+          {
+            Cpr.default_config with
+            n_contexts = 4;
+            seed;
+            checkpoint_interval = 0.01;
+            injector = Faults.Injector.config ~seed 15.0;
+          }
+          p
+      in
+      (not r.Exec.State.dnc)
+      && Vm.Mem.read r.Exec.State.final_mem 0 = workers * iters)
+
+let suite =
+  [
+    prop_prng_bounds;
+    prop_prng_copy_independent;
+    prop_evq_sorted;
+    prop_evq_cancel;
+    prop_deque_model;
+    prop_alloc_no_overlap;
+    prop_alloc_free_roundtrip;
+    prop_undo_restores;
+    prop_rol_head_is_min;
+    prop_rol_retire_prefix;
+    prop_order_grants_eligible;
+    prop_order_fair;
+    prop_weighted_turn_share;
+    prop_scheduler_conservation;
+    prop_barrier_counters;
+    prop_chunks_partition;
+    prop_gprs_recovery_exact;
+    prop_cpr_recovery_exact;
+  ]

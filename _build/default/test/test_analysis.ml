@@ -1,0 +1,170 @@
+(* Analysis-layer tests: the closed-form penalty model, the report
+   renderer, and smoke tests of the experiment drivers at tiny scale. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_model_cpr_penalties () =
+  (* Pc = 1/t * n * (tc + ts) *)
+  checkf "Pc" 2.4 (Analysis.Model.cpr_checkpoint_penalty ~t:10.0 ~n:8 ~tc:1.0 ~ts:2.0);
+  (* Pr = n * e * tr *)
+  checkf "Pr" 16.0 (Analysis.Model.cpr_restart_penalty ~n:8 ~e:2.0 ~tr:1.0)
+
+let test_model_gprs_penalties () =
+  checkf "no coordination" 1.6
+    (Analysis.Model.gprs_checkpoint_penalty ~t:10.0 ~n:8 ~ts:2.0);
+  checkf "selective Pr" 2.0 (Analysis.Model.gprs_restart_penalty ~e:2.0 ~tr:1.0);
+  checkf "ordering Pg" 0.8 (Analysis.Model.gprs_ordering_penalty ~t:10.0 ~n:8 ~tg:1.0)
+
+let test_model_max_rates_scale () =
+  (* The paper's scalability claim: GPRS's tolerable rate is n x CPR's. *)
+  let tr = 0.5 in
+  checkf "cpr flat" 2.0 (Analysis.Model.cpr_max_rate ~tr);
+  checkf "gprs scales" 48.0 (Analysis.Model.gprs_max_rate ~n:24 ~tr);
+  checkf "hw in between" 24.0 (Analysis.Model.hw_max_rate ~n:24 ~nc:2 ~tr);
+  checkb "ordering" true
+    (Analysis.Model.cpr_max_rate ~tr
+     <= Analysis.Model.hw_max_rate ~n:24 ~nc:2 ~tr
+    && Analysis.Model.hw_max_rate ~n:24 ~nc:2 ~tr
+       <= Analysis.Model.gprs_max_rate ~n:24 ~tr)
+
+let test_model_restart_delay () =
+  checkf "tr = t + tw" 1.5 (Analysis.Model.restart_delay ~t:1.0 ~tw:0.5)
+
+let test_table1_shape () =
+  let rows = Analysis.Experiments.table1 () in
+  check "five rows" 5 (List.length rows);
+  List.iter (fun r -> check "eight columns" 8 (List.length r)) rows;
+  checkb "gprs row last" true
+    (match List.rev rows with
+    | last :: _ -> List.hd last = "GPRS (this work)"
+    | [] -> false)
+
+let test_harmonic_mean () =
+  checkf "hm of equal" 2.0 (Analysis.Report.harmonic_mean [ 2.0; 2.0; 2.0 ]);
+  checkf "hm classic" 1.2 (Analysis.Report.harmonic_mean [ 1.0; 1.5 ]);
+  checkb "hm of empty is nan" true (Float.is_nan (Analysis.Report.harmonic_mean []))
+
+let test_hm_row_skips_dnc () =
+  let bar l v dnc = { Analysis.Report.label = l; value = v; dnc } in
+  let fig =
+    {
+      Analysis.Report.id = "t";
+      title = "t";
+      rows =
+        [
+          { Analysis.Report.row_name = "a"; bars = [ bar "X" 1.0 false ] };
+          { Analysis.Report.row_name = "b"; bars = [ bar "X" 0.0 true ] };
+          { Analysis.Report.row_name = "c"; bars = [ bar "X" 1.0 false ] };
+        ];
+      notes = [];
+    }
+  in
+  match Analysis.Report.hm_row fig with
+  | Some { Analysis.Report.bars = [ b ]; _ } ->
+    checkf "dnc skipped" 1.0 b.Analysis.Report.value
+  | _ -> Alcotest.fail "expected one hm bar"
+
+let test_render_table () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Analysis.Report.render_table ppf ~title:"T" ~header:[ "a"; "bb" ]
+    [ [ "x"; "1" ]; [ "yyy"; "22" ] ];
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains sub =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  checkb "contains row" true (contains "yyy");
+  checkb "contains header" true (contains "bb")
+
+let test_bar_chart_renders () =
+  let bar l v dnc = { Analysis.Report.label = l; value = v; dnc } in
+  let fig =
+    {
+      Analysis.Report.id = "Fig. X";
+      title = "demo";
+      rows =
+        [
+          {
+            Analysis.Report.row_name = "prog";
+            bars = [ bar "A" 1.0 false; bar "B" 10.0 false; bar "C" 0.0 true ];
+          };
+        ];
+      notes = [];
+    }
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Analysis.Report.render_bar_chart ppf fig;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains sub =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "has hashes" true (contains "#");
+  checkb "clips large bars" true (contains ">");
+  checkb "marks dnc" true (contains "DNC")
+
+let tiny_cfg =
+  {
+    Analysis.Experiments.default_cfg with
+    Analysis.Experiments.n_contexts = 4;
+    scale = 0.05;
+    dnc_factor = 40;
+  }
+
+let test_table2_shape () =
+  let rows = Analysis.Experiments.table2 tiny_cfg in
+  check "ten programs" 10 (List.length rows);
+  List.iter (fun r -> check "seven columns" 7 (List.length r)) rows;
+  (* Sub-thread counts are positive integers. *)
+  List.iter
+    (fun r ->
+      let subs = int_of_string (List.nth r 6) in
+      checkb "positive subs" true (subs > 0))
+    rows
+
+let test_fig9_shape () =
+  let fig = Analysis.Experiments.fig9 tiny_cfg in
+  check "four programs" 4 (List.length fig.Analysis.Report.rows);
+  List.iter
+    (fun (r : Analysis.Report.row) -> check "two bars" 2 (List.length r.Analysis.Report.bars))
+    fig.Analysis.Report.rows
+
+let test_cost_ablations_ordered () =
+  (* With more cost components charged, execution can only get slower. *)
+  let spec = Workloads.Suite.find "re" in
+  let t costs =
+    (Analysis.Experiments.run_gprs ~costs tiny_cfg spec ~grain:Workloads.Workload.Default)
+      .Exec.State.sim_cycles
+  in
+  let or_only = t Analysis.Experiments.costs_order_only in
+  let or_rol = t Analysis.Experiments.costs_order_rol in
+  let full = t Vm.Costs.default in
+  checkb
+    (Printf.sprintf "or<=or+rol<=full (%d %d %d)" or_only or_rol full)
+    true
+    (or_only <= or_rol && or_rol <= full)
+
+let suite =
+  [
+    Alcotest.test_case "model: cpr penalties" `Quick test_model_cpr_penalties;
+    Alcotest.test_case "model: gprs penalties" `Quick test_model_gprs_penalties;
+    Alcotest.test_case "model: max rates scale" `Quick test_model_max_rates_scale;
+    Alcotest.test_case "model: restart delay" `Quick test_model_restart_delay;
+    Alcotest.test_case "table1 shape" `Quick test_table1_shape;
+    Alcotest.test_case "harmonic mean" `Quick test_harmonic_mean;
+    Alcotest.test_case "hm row skips dnc" `Quick test_hm_row_skips_dnc;
+    Alcotest.test_case "render table" `Quick test_render_table;
+    Alcotest.test_case "render bar chart" `Quick test_bar_chart_renders;
+    Alcotest.test_case "table2 shape" `Slow test_table2_shape;
+    Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+    Alcotest.test_case "cost ablations ordered" `Slow test_cost_ablations_ordered;
+  ]

@@ -1,0 +1,124 @@
+(* Unit tests for the ordering schedules (the token policies). *)
+
+let check = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+
+let grant t =
+  match Gprs.Order.holder t with
+  | Some tid ->
+    Gprs.Order.advance t ~granted:tid;
+    tid
+  | None -> Alcotest.fail "no holder"
+
+let test_round_robin_rotation () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  for tid = 0 to 2 do
+    Gprs.Order.add_thread t ~tid ~group:0
+  done;
+  Alcotest.(check (list int))
+    "cycles in creation order"
+    [ 0; 1; 2; 0; 1; 2 ]
+    (List.init 6 (fun _ -> grant t))
+
+let test_round_robin_ignores_groups () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1; 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:1;
+  Gprs.Order.add_thread t ~tid:1 ~group:0;
+  Alcotest.(check (list int)) "one rotation" [ 0; 1; 0 ]
+    (List.init 3 (fun _ -> grant t))
+
+let test_skip_ineligible () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  for tid = 0 to 2 do
+    Gprs.Order.add_thread t ~tid ~group:0
+  done;
+  Gprs.Order.set_eligible t 1 false;
+  Alcotest.(check (list int)) "skips sleeper" [ 0; 2; 0 ]
+    (List.init 3 (fun _ -> grant t));
+  Gprs.Order.set_eligible t 1 true;
+  check "sleeper returns" 1 (grant t)
+
+let test_none_when_all_ineligible () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.set_eligible t 0 false;
+  check_opt "none" None (Gprs.Order.holder t)
+
+let test_remove_thread () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  for tid = 0 to 2 do
+    Gprs.Order.add_thread t ~tid ~group:0
+  done;
+  ignore (grant t);
+  (* token now past 0 *)
+  Gprs.Order.remove_thread t 1;
+  Alcotest.(check (list int)) "1 gone" [ 2; 0; 2 ] (List.init 3 (fun _ -> grant t));
+  check "live" 2 (Gprs.Order.live_count t)
+
+let test_balance_aware_alternates_groups () =
+  (* The paper's Pbzip2 shape: group 0 = reader, group 1 = compressors.
+     Fig 7(b): turns go TH0, TH1, TH0, TH2, TH0, TH1 ... *)
+  let t = Gprs.Order.create Gprs.Order.Balance_aware ~group_weights:[| 1; 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.add_thread t ~tid:1 ~group:1;
+  Gprs.Order.add_thread t ~tid:2 ~group:1;
+  Alcotest.(check (list int))
+    "alternation with intra-group rotation"
+    [ 0; 1; 0; 2; 0; 1 ]
+    (List.init 6 (fun _ -> grant t))
+
+let test_balance_aware_skips_empty_group () =
+  let t = Gprs.Order.create Gprs.Order.Balance_aware ~group_weights:[| 1; 1; 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.add_thread t ~tid:1 ~group:2;
+  Alcotest.(check (list int)) "group 1 empty" [ 0; 1; 0; 1 ]
+    (List.init 4 (fun _ -> grant t))
+
+let test_weighted_gives_extra_turns () =
+  (* Weight 2 for group 0: two reader turns per compressor turn. *)
+  let t = Gprs.Order.create Gprs.Order.Weighted ~group_weights:[| 2; 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.add_thread t ~tid:1 ~group:1;
+  Gprs.Order.add_thread t ~tid:2 ~group:1;
+  Alcotest.(check (list int))
+    "2:1 turn ratio"
+    [ 0; 0; 1; 0; 0; 2 ]
+    (List.init 6 (fun _ -> grant t))
+
+let test_weighted_min_weight_one () =
+  let t = Gprs.Order.create Gprs.Order.Weighted ~group_weights:[| 0; 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.add_thread t ~tid:1 ~group:1;
+  (* weight 0 is clamped to 1 *)
+  Alcotest.(check (list int)) "clamped" [ 0; 1; 0; 1 ]
+    (List.init 4 (fun _ -> grant t))
+
+let test_holder_is_pure () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  Gprs.Order.add_thread t ~tid:1 ~group:0;
+  check_opt "peek" (Some 0) (Gprs.Order.holder t);
+  check_opt "peek again" (Some 0) (Gprs.Order.holder t)
+
+let test_late_join_enters_rotation () =
+  let t = Gprs.Order.create Gprs.Order.Round_robin ~group_weights:[| 1 |] in
+  Gprs.Order.add_thread t ~tid:0 ~group:0;
+  ignore (grant t);
+  Gprs.Order.add_thread t ~tid:1 ~group:0;
+  Alcotest.(check (list int)) "new thread joins" [ 1; 0; 1 ]
+    (List.init 3 (fun _ -> grant t))
+
+let suite =
+  [
+    Alcotest.test_case "round-robin rotation" `Quick test_round_robin_rotation;
+    Alcotest.test_case "round-robin ignores groups" `Quick test_round_robin_ignores_groups;
+    Alcotest.test_case "skip ineligible" `Quick test_skip_ineligible;
+    Alcotest.test_case "none when all ineligible" `Quick test_none_when_all_ineligible;
+    Alcotest.test_case "remove thread" `Quick test_remove_thread;
+    Alcotest.test_case "balance-aware alternation" `Quick test_balance_aware_alternates_groups;
+    Alcotest.test_case "balance-aware skips empty group" `Quick test_balance_aware_skips_empty_group;
+    Alcotest.test_case "weighted extra turns" `Quick test_weighted_gives_extra_turns;
+    Alcotest.test_case "weighted clamps zero" `Quick test_weighted_min_weight_one;
+    Alcotest.test_case "holder is pure" `Quick test_holder_is_pure;
+    Alcotest.test_case "late join" `Quick test_late_join_enters_rotation;
+  ]

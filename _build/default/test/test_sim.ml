@@ -1,0 +1,215 @@
+(* Unit tests for the discrete-event kernel. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.int64 a) (Sim.Prng.int64 b)
+  done
+
+let test_prng_distinct_seeds () =
+  let a = Sim.Prng.create 1 and b = Sim.Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Sim.Prng.int64 a = Sim.Prng.int64 b then incr same
+  done;
+  checkb "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let g = Sim.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Sim.Prng.int g 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_split_independent () =
+  let g = Sim.Prng.create 5 in
+  let s = Sim.Prng.split g in
+  (* Drawing from the split stream must not perturb the parent's future. *)
+  let g' = Sim.Prng.copy g in
+  for _ = 1 to 10 do
+    ignore (Sim.Prng.int64 s)
+  done;
+  Alcotest.(check int64) "parent unperturbed" (Sim.Prng.int64 g') (Sim.Prng.int64 g)
+
+let test_prng_float_bounds () =
+  let g = Sim.Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Sim.Prng.float g 3.5 in
+    checkb "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_exponential_mean () =
+  let g = Sim.Prng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Prng.exponential g ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 2.0" true (mean > 1.9 && mean < 2.1)
+
+let test_prng_shuffle_permutes () =
+  let g = Sim.Prng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Sim.Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_evq_order () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.schedule q ~time:30 "c");
+  ignore (Sim.Event_queue.schedule q ~time:10 "a");
+  ignore (Sim.Event_queue.schedule q ~time:20 "b");
+  let pop () = Option.get (Sim.Event_queue.pop q) in
+  Alcotest.(check (pair int string)) "first" (10, "a") (pop ());
+  Alcotest.(check (pair int string)) "second" (20, "b") (pop ());
+  Alcotest.(check (pair int string)) "third" (30, "c") (pop ())
+
+let test_evq_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Sim.Event_queue.schedule q ~time:5 i)
+  done;
+  for i = 0 to 9 do
+    let _, v = Option.get (Sim.Event_queue.pop q) in
+    check "insertion order on ties" i v
+  done
+
+let test_evq_cancel () =
+  let q = Sim.Event_queue.create () in
+  let _a = Sim.Event_queue.schedule q ~time:1 "a" in
+  let b = Sim.Event_queue.schedule q ~time:2 "b" in
+  let _c = Sim.Event_queue.schedule q ~time:3 "c" in
+  Sim.Event_queue.cancel q b;
+  check "live count" 2 (Sim.Event_queue.length q);
+  let _, v1 = Option.get (Sim.Event_queue.pop q) in
+  let _, v2 = Option.get (Sim.Event_queue.pop q) in
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] [ v1; v2 ];
+  checkb "empty" true (Sim.Event_queue.is_empty q)
+
+let test_evq_cancel_after_pop_noop () =
+  let q = Sim.Event_queue.create () in
+  let a = Sim.Event_queue.schedule q ~time:1 "a" in
+  ignore (Sim.Event_queue.pop q);
+  Sim.Event_queue.cancel q a;
+  check "still zero live" 0 (Sim.Event_queue.length q)
+
+let test_evq_clock_advances () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.schedule q ~time:100 ());
+  ignore (Sim.Event_queue.pop q);
+  check "clock" 100 (Sim.Event_queue.now q);
+  ignore (Sim.Event_queue.schedule q ~time:250 ());
+  ignore (Sim.Event_queue.pop q);
+  check "clock again" 250 (Sim.Event_queue.now q)
+
+let test_evq_peek () =
+  let q = Sim.Event_queue.create () in
+  let a = Sim.Event_queue.schedule q ~time:4 "a" in
+  ignore (Sim.Event_queue.schedule q ~time:9 "b");
+  Alcotest.(check (option int)) "peek" (Some 4) (Sim.Event_queue.peek_time q);
+  Sim.Event_queue.cancel q a;
+  Alcotest.(check (option int)) "peek skips cancelled" (Some 9)
+    (Sim.Event_queue.peek_time q)
+
+let test_evq_many_random () =
+  (* Heap property under load: popping yields non-decreasing times. *)
+  let g = Sim.Prng.create 99 in
+  let q = Sim.Event_queue.create () in
+  for _ = 1 to 2000 do
+    ignore (Sim.Event_queue.schedule q ~time:(Sim.Prng.int g 100000) ())
+  done;
+  let prev = ref (-1) in
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+      checkb "non-decreasing" true (t >= !prev);
+      prev := t;
+      drain ()
+  in
+  drain ()
+
+let test_stats_counters () =
+  let s = Sim.Stats.create () in
+  Sim.Stats.incr s "a";
+  Sim.Stats.incr s "a";
+  Sim.Stats.add s "a" 3;
+  check "counter" 5 (Sim.Stats.get s "a");
+  check "untouched" 0 (Sim.Stats.get s "zzz")
+
+let test_stats_max_and_mean () =
+  let s = Sim.Stats.create () in
+  Sim.Stats.set_max s "m" 4;
+  Sim.Stats.set_max s "m" 9;
+  Sim.Stats.set_max s "m" 2;
+  check "max" 9 (Sim.Stats.get s "m");
+  Sim.Stats.observe s "x" 1.0;
+  Sim.Stats.observe s "x" 3.0;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Sim.Stats.mean s "x");
+  check "count" 2 (Sim.Stats.count s "x")
+
+let test_stats_merge () =
+  let a = Sim.Stats.create () and b = Sim.Stats.create () in
+  Sim.Stats.add a "k" 2;
+  Sim.Stats.add b "k" 3;
+  Sim.Stats.observe a "o" 1.0;
+  Sim.Stats.observe b "o" 5.0;
+  Sim.Stats.merge_into ~dst:a b;
+  check "merged counter" 5 (Sim.Stats.get a "k");
+  Alcotest.(check (float 1e-9)) "merged mean" 3.0 (Sim.Stats.mean a "o")
+
+let test_trace_ring () =
+  let t = Sim.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Sim.Trace.record t i (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check (list string))
+    "keeps the newest 4"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map snd (Sim.Trace.to_list t))
+
+let test_trace_find_and_disable () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t 1 "hello world";
+  Sim.Trace.set_enabled t false;
+  Sim.Trace.record t 2 "dropped";
+  checkb "found" true (Sim.Trace.find t ~substring:"world" <> None);
+  checkb "dropped" true (Sim.Trace.find t ~substring:"dropped" = None)
+
+let test_time_conversions () =
+  let c = Sim.Time.of_seconds ~cycles_per_second:1000 2.5 in
+  check "of_seconds" 2500 c;
+  Alcotest.(check (float 1e-9))
+    "roundtrip" 2.5
+    (Sim.Time.to_seconds ~cycles_per_second:1000 c);
+  check "tiny positive rounds to >= 1" 1
+    (Sim.Time.of_seconds ~cycles_per_second:1000 0.0001)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng distinct seeds" `Quick test_prng_distinct_seeds;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng exponential mean" `Quick test_prng_exponential_mean;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "evq ordering" `Quick test_evq_order;
+    Alcotest.test_case "evq fifo on ties" `Quick test_evq_fifo_ties;
+    Alcotest.test_case "evq cancel" `Quick test_evq_cancel;
+    Alcotest.test_case "evq cancel after pop" `Quick test_evq_cancel_after_pop_noop;
+    Alcotest.test_case "evq clock" `Quick test_evq_clock_advances;
+    Alcotest.test_case "evq peek" `Quick test_evq_peek;
+    Alcotest.test_case "evq random load" `Quick test_evq_many_random;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "stats max/mean" `Quick test_stats_max_and_mean;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "trace ring" `Quick test_trace_ring;
+    Alcotest.test_case "trace find/disable" `Quick test_trace_find_and_disable;
+    Alcotest.test_case "time conversions" `Quick test_time_conversions;
+  ]

@@ -1,0 +1,167 @@
+(* Unit tests for the machine substrate: memory/allocator, files, TCBs,
+   the builder eDSL. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_mem_rw () =
+  let m = Vm.Mem.create ~words:128 in
+  Vm.Mem.write m 5 42;
+  check "read back" 42 (Vm.Mem.read m 5);
+  check "zero init" 0 (Vm.Mem.read m 6)
+
+let test_mem_reserve_sequential () =
+  let m = Vm.Mem.create ~words:128 in
+  let a = Vm.Mem.reserve m 10 in
+  let b = Vm.Mem.reserve m 10 in
+  check "first at 0" 0 a;
+  check "second follows" 10 b
+
+let test_mem_alloc_free_reuse () =
+  let m = Vm.Mem.create ~words:128 in
+  let a = Vm.Mem.alloc m 16 in
+  Alcotest.(check (option int)) "size" (Some 16) (Vm.Mem.block_size m a);
+  Vm.Mem.free m a;
+  Alcotest.(check (option int)) "gone" None (Vm.Mem.block_size m a);
+  let b = Vm.Mem.alloc m 16 in
+  check "first fit reuses" a b
+
+let test_mem_alloc_distinct () =
+  let m = Vm.Mem.create ~words:1024 in
+  let blocks = List.init 10 (fun _ -> Vm.Mem.alloc m 32) in
+  let sorted = List.sort_uniq compare blocks in
+  check "all distinct" 10 (List.length sorted)
+
+let test_mem_oom () =
+  let m = Vm.Mem.create ~words:64 in
+  ignore (Vm.Mem.alloc m 60);
+  Alcotest.check_raises "oom" (Failure "Mem.alloc: out of simulated memory")
+    (fun () -> ignore (Vm.Mem.alloc m 60))
+
+let test_mem_undo_alloc_free () =
+  let m = Vm.Mem.create ~words:128 in
+  let a = Vm.Mem.alloc m 8 in
+  Vm.Mem.undo_alloc m a;
+  Alcotest.(check (option int)) "undone" None (Vm.Mem.block_size m a);
+  let b = Vm.Mem.alloc m 8 in
+  check "block back on free list" a b;
+  Vm.Mem.free m b;
+  Vm.Mem.undo_free m b ~size:8;
+  Alcotest.(check (option int)) "re-registered" (Some 8) (Vm.Mem.block_size m b)
+
+let test_mem_snapshot_restore () =
+  let m = Vm.Mem.create ~words:64 in
+  let a = Vm.Mem.alloc m 4 in
+  Vm.Mem.write m a 7;
+  let snap = Vm.Mem.snapshot m in
+  Vm.Mem.write m a 9;
+  Vm.Mem.free m a;
+  Vm.Mem.restore m ~from:snap;
+  check "word restored" 7 (Vm.Mem.read m a);
+  Alcotest.(check (option int)) "alloc state restored" (Some 4)
+    (Vm.Mem.block_size m a)
+
+let test_io_basics () =
+  let io = Vm.Io.create () in
+  let f = Vm.Io.add_file io ~name:"in" [| 1; 2; 3 |] in
+  check "size" 3 (Vm.Io.size io f);
+  check "read" 2 (Vm.Io.read io f ~off:1);
+  check "sparse read" 0 (Vm.Io.read io f ~off:99);
+  Alcotest.(check (option int)) "lookup" (Some f) (Vm.Io.lookup io "in")
+
+let test_io_write_grows () =
+  let io = Vm.Io.create () in
+  let f = Vm.Io.add_file io ~name:"out" [||] in
+  Vm.Io.write io f ~off:10 99;
+  check "grew" 11 (Vm.Io.size io f);
+  check "written" 99 (Vm.Io.read io f ~off:10);
+  check "hole is zero" 0 (Vm.Io.read io f ~off:5)
+
+let test_io_truncate () =
+  let io = Vm.Io.create () in
+  let f = Vm.Io.add_file io ~name:"out" [| 5; 6; 7 |] in
+  Vm.Io.truncate io f 1;
+  check "shorter" 1 (Vm.Io.size io f);
+  Alcotest.(check (array int)) "contents" [| 5 |] (Vm.Io.contents io f)
+
+let test_io_snapshot_restore () =
+  let io = Vm.Io.create () in
+  let f = Vm.Io.add_file io ~name:"x" [| 1 |] in
+  let snap = Vm.Io.snapshot io in
+  Vm.Io.write io f ~off:0 100;
+  Vm.Io.write io f ~off:1 200;
+  Vm.Io.restore io ~from:snap;
+  check "len back" 1 (Vm.Io.size io f);
+  check "word back" 1 (Vm.Io.read io f ~off:0)
+
+let test_tcb_save_restore () =
+  let proc = { Vm.Isa.pname = "p"; code = [| Vm.Isa.Exit |] } in
+  let t = Vm.Tcb.create ~n_barriers:0 ~tid:3 ~group:1 ~proc ~args:[| 10; 20 |] in
+  check "args loaded" 10 t.Vm.Tcb.regs.(0);
+  check "args loaded" 20 t.Vm.Tcb.regs.(1);
+  let saved = Vm.Tcb.copy_state t in
+  t.Vm.Tcb.pc <- 5;
+  t.Vm.Tcb.regs.(0) <- 999;
+  t.Vm.Tcb.lock_depth <- 2;
+  Vm.Tcb.restore_state t saved;
+  check "pc restored" 0 t.Vm.Tcb.pc;
+  check "reg restored" 10 t.Vm.Tcb.regs.(0);
+  check "depth restored" 0 t.Vm.Tcb.lock_depth
+
+let test_builder_labels () =
+  let b = Vm.Builder.proc "loop" in
+  (* r0 counts down from 3; r1 accumulates iterations. *)
+  Vm.Builder.set_reg b 0 (fun _ -> 3);
+  Vm.Builder.while_ b
+    (fun regs -> regs.(0) > 0)
+    (fun () ->
+      Vm.Builder.set_reg b 1 (fun regs -> regs.(1) + 10);
+      Vm.Builder.set_reg b 0 (fun regs -> regs.(0) - 1));
+  Vm.Builder.exit_ b;
+  let proc = Vm.Builder.finish b in
+  checkb "has code" true (Array.length proc.Vm.Isa.code > 4)
+
+let test_builder_unbound_label () =
+  let b = Vm.Builder.proc "bad" in
+  let l = Vm.Builder.fresh_label b in
+  Vm.Builder.goto b l;
+  Alcotest.check_raises "unbound"
+    (Invalid_argument "Builder.finish(bad): unbound label") (fun () ->
+      ignore (Vm.Builder.finish b))
+
+let test_builder_program_validation () =
+  let p = Vm.Builder.proc "main" in
+  Vm.Builder.exit_ p;
+  let proc = Vm.Builder.finish p in
+  Alcotest.check_raises "bad entry"
+    (Invalid_argument "Builder.program: entry proc not among procs") (fun () ->
+      ignore (Vm.Builder.program ~entry:"nope" [ proc ]))
+
+let test_isa_sync_points () =
+  checkb "lock is sync" true (Vm.Isa.is_sync_point (Vm.Isa.Lock { m = (fun _ -> 0) }));
+  checkb "unlock is NOT sync (critical-section optimization)" false
+    (Vm.Isa.is_sync_point (Vm.Isa.Unlock { m = (fun _ -> 0) }));
+  checkb "nonstd atomic invisible" false
+    (Vm.Isa.is_sync_point
+       (Vm.Isa.Nonstd_atomic { var = (fun _ -> 0); rmw = (fun ~old _ -> old); dst = 0 }));
+  checkb "exit is sync" true (Vm.Isa.is_sync_point Vm.Isa.Exit)
+
+let suite =
+  [
+    Alcotest.test_case "mem read/write" `Quick test_mem_rw;
+    Alcotest.test_case "mem reserve" `Quick test_mem_reserve_sequential;
+    Alcotest.test_case "mem alloc/free/reuse" `Quick test_mem_alloc_free_reuse;
+    Alcotest.test_case "mem alloc distinct" `Quick test_mem_alloc_distinct;
+    Alcotest.test_case "mem oom" `Quick test_mem_oom;
+    Alcotest.test_case "mem undo alloc/free" `Quick test_mem_undo_alloc_free;
+    Alcotest.test_case "mem snapshot/restore" `Quick test_mem_snapshot_restore;
+    Alcotest.test_case "io basics" `Quick test_io_basics;
+    Alcotest.test_case "io write grows" `Quick test_io_write_grows;
+    Alcotest.test_case "io truncate" `Quick test_io_truncate;
+    Alcotest.test_case "io snapshot/restore" `Quick test_io_snapshot_restore;
+    Alcotest.test_case "tcb save/restore" `Quick test_tcb_save_restore;
+    Alcotest.test_case "builder labels" `Quick test_builder_labels;
+    Alcotest.test_case "builder unbound label" `Quick test_builder_unbound_label;
+    Alcotest.test_case "builder program validation" `Quick test_builder_program_validation;
+    Alcotest.test_case "isa sync points" `Quick test_isa_sync_points;
+  ]
