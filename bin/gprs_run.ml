@@ -1,63 +1,123 @@
-(* Run one workload under one engine with optional exception injection.
+(* Run one workload under one engine with optional exception injection,
+   or statically lint a workload's sync structure without running it.
 
-   Usage: gprs_run -w pbzip2 -e gprs --rate 4.0 --contexts 24 *)
+   Usage: gprs_run -w pbzip2 -e gprs --rate 4.0 --contexts 24
+          gprs_run lint canneal
+          gprs_run lint all --verbose *)
 
 open Cmdliner
 
-let run workload engine contexts scale seed rate grain ordering interval
-    show_stats =
+let build_workload workload contexts scale grain =
   let spec = Workloads.Suite.find workload in
   let grain =
     match grain with
     | "fine" -> Workloads.Workload.Fine
     | _ -> Workloads.Workload.Default
   in
-  let program = spec.Workloads.Workload.build ~n_contexts:contexts ~grain ~scale in
-  let result =
-    match engine with
-    | "pthreads" ->
-      Exec.Baseline.run
-        { Exec.Baseline.default_config with n_contexts = contexts; seed }
-        program
-    | "cpr" ->
-      Cpr.run
-        {
-          Cpr.default_config with
-          n_contexts = contexts;
-          seed;
-          checkpoint_interval = interval;
-          injector = Faults.Injector.config ~seed rate;
-        }
-        program
-    | "gprs" ->
-      let ordering =
-        match ordering with
-        | "round-robin" -> Gprs.Order.Round_robin
-        | "weighted" -> Gprs.Order.Weighted
-        | "recorded" -> Gprs.Order.Recorded
-        | _ -> Gprs.Order.Balance_aware
-      in
-      Gprs.Engine.run
-        {
-          Gprs.Engine.default_config with
-          n_contexts = contexts;
-          seed;
-          ordering;
-          injector = Faults.Injector.config ~seed rate;
-        }
-        program
-    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  (spec, spec.Workloads.Workload.build ~n_contexts:contexts ~grain ~scale)
+
+(* Lint at the CLI level (all engines, not just GPRS), then hand the
+   program to the engine with its own hook off so findings print once. *)
+let cli_lint ~strict_lint ~no_lint program =
+  if no_lint then `Run
+  else begin
+    let diags = Lint.Check.program program in
+    let visible =
+      List.filter
+        (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
+        diags
+    in
+    if visible <> [] then
+      Format.eprintf "%a" (Lint.Render.pp ~title:"GPRS-lint") visible;
+    if strict_lint && Lint.Check.has_errors diags then `Refuse else `Run
+  end
+
+let run workload engine contexts scale seed rate grain ordering interval
+    show_stats strict_lint no_lint =
+  let spec, program = build_workload workload contexts scale grain in
+  match cli_lint ~strict_lint ~no_lint program with
+  | `Refuse ->
+    Format.eprintf
+      "gprs_run: refusing to run %s: lint found error-severity issues \
+       (--strict-lint)@."
+      workload;
+    Stdlib.exit 2
+  | `Run ->
+    let result =
+      match engine with
+      | "pthreads" ->
+        Exec.Baseline.run
+          { Exec.Baseline.default_config with n_contexts = contexts; seed }
+          program
+      | "cpr" ->
+        Cpr.run
+          {
+            Cpr.default_config with
+            n_contexts = contexts;
+            seed;
+            checkpoint_interval = interval;
+            injector = Faults.Injector.config ~seed rate;
+          }
+          program
+      | "gprs" ->
+        let ordering =
+          match ordering with
+          | "round-robin" -> Gprs.Order.Round_robin
+          | "weighted" -> Gprs.Order.Weighted
+          | "recorded" -> Gprs.Order.Recorded
+          | _ -> Gprs.Order.Balance_aware
+        in
+        Gprs.Engine.run ~lint:`Off
+          {
+            Gprs.Engine.default_config with
+            n_contexts = contexts;
+            seed;
+            ordering;
+            injector = Faults.Injector.config ~seed rate;
+          }
+          program
+      | other -> failwith (Printf.sprintf "unknown engine %S" other)
+    in
+    Format.printf "workload   : %s (%s)@." workload spec.Workloads.Workload.pattern;
+    Format.printf "engine     : %s, %d contexts, seed %d@." engine contexts seed;
+    Format.printf "exceptions : %.2f/s@." rate;
+    Format.printf "completed  : %b%s@."
+      (not result.Exec.State.dnc)
+      (if result.Exec.State.dnc then " (DNC)" else "");
+    Format.printf "sim time   : %d cycles = %.4f s@." result.Exec.State.sim_cycles
+      result.Exec.State.sim_seconds;
+    Format.printf "digest     : %s@." (spec.Workloads.Workload.digest result);
+    if show_stats then Format.printf "%a@." Sim.Stats.pp result.Exec.State.run_stats
+
+(* --- lint subcommand -------------------------------------------------- *)
+
+let lint_one ~verbose workload contexts scale grain =
+  let _, program = build_workload workload contexts scale grain in
+  let diags = Lint.Check.program program in
+  let shown =
+    if verbose then diags
+    else
+      List.filter
+        (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
+        diags
   in
-  Format.printf "workload   : %s (%s)@." workload spec.Workloads.Workload.pattern;
-  Format.printf "engine     : %s, %d contexts, seed %d@." engine contexts seed;
-  Format.printf "exceptions : %.2f/s@." rate;
-  Format.printf "completed  : %b%s@."
-    (not result.Exec.State.dnc)
-    (if result.Exec.State.dnc then " (DNC)" else "");
-  Format.printf "sim time   : %d cycles = %.4f s@." result.Exec.State.sim_cycles
-    result.Exec.State.sim_seconds;
-  Format.printf "digest     : %s@." (spec.Workloads.Workload.digest result);
-  if show_stats then Format.printf "%a@." Sim.Stats.pp result.Exec.State.run_stats
+  Format.printf "%a"
+    (Lint.Render.pp ~title:(Printf.sprintf "gprs_run lint %s" workload))
+    shown;
+  Lint.Check.has_errors diags
+
+let lint_cmd_run workload contexts scale grain verbose =
+  let targets =
+    if workload = "all" then Workloads.Suite.names else [ workload ]
+  in
+  let any_errors =
+    List.fold_left
+      (fun acc w -> lint_one ~verbose w contexts scale grain || acc)
+      false targets
+  in
+  if any_errors then Stdlib.exit 1
+
+(* --- terms ------------------------------------------------------------ *)
 
 let workload =
   let doc =
@@ -87,12 +147,55 @@ let interval =
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.")
 
-let cmd =
-  let doc = "run one workload under pthreads / CPR / GPRS on the simulated machine" in
+let strict_lint =
+  Arg.(value & flag
+       & info [ "strict-lint" ]
+           ~doc:
+             "Refuse to run (exit 2) if GPRS-lint finds error-severity \
+              issues in the workload program.")
+
+let no_lint =
+  Arg.(value & flag
+       & info [ "no-lint" ] ~doc:"Skip the pre-execution GPRS-lint pass.")
+
+let run_term =
+  Term.(
+    const run $ workload $ engine $ contexts $ scale $ seed $ rate $ grain
+    $ ordering $ interval $ stats $ strict_lint $ no_lint)
+
+let run_cmd =
+  let doc = "run one workload under pthreads / CPR / GPRS" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+let lint_workload_pos =
+  let doc =
+    Printf.sprintf
+      "Workload to lint (%s), or $(b,all) for the whole suite."
+      (String.concat ", " Workloads.Suite.names)
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WORKLOAD" ~doc)
+
+let lint_verbose =
+  Arg.(value & flag
+       & info [ "verbose"; "v" ]
+           ~doc:"Also print info-severity findings (barrier coverage, ...).")
+
+let lint_cmd =
+  let doc =
+    "statically analyze a workload program: lock discipline, deadlock \
+     order, CPR-region / hybrid-recovery soundness"
+  in
   Cmd.v
-    (Cmd.info "gprs_run" ~doc)
+    (Cmd.info "lint" ~doc)
     Term.(
-      const run $ workload $ engine $ contexts $ scale $ seed $ rate $ grain
-      $ ordering $ interval $ stats)
+      const lint_cmd_run $ lint_workload_pos $ contexts $ scale $ grain
+      $ lint_verbose)
+
+let cmd =
+  let doc =
+    "run (or statically lint) one workload under pthreads / CPR / GPRS on \
+     the simulated machine"
+  in
+  Cmd.group ~default:run_term (Cmd.info "gprs_run" ~doc) [ run_cmd; lint_cmd ]
 
 let () = Stdlib.exit (Cmd.eval cmd)

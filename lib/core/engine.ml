@@ -1020,7 +1020,24 @@ let finalize eng ~dnc =
   end;
   Exec.State.mk_result st ~dnc
 
-let run cfg program =
+let run ?(lint = `Warn) cfg program =
+  (match lint with
+  | `Off -> ()
+  | (`Warn | `Strict) as mode -> (
+    let diags = Lint.Check.program program in
+    let visible =
+      List.filter
+        (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
+        diags
+    in
+    match mode with
+    | `Strict when Lint.Check.has_errors diags ->
+      raise (Lint.Check.Rejected (Lint.Check.errors diags))
+    | `Strict | `Warn ->
+      if visible <> [] then
+        Format.eprintf "%a"
+          (Lint.Render.pp ~title:"GPRS-lint (pre-execution)")
+          visible));
   let st =
     Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
       ~seed:cfg.seed ()

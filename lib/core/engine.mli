@@ -68,4 +68,22 @@ type config = {
 val default_config : config
 (** 24 contexts, balance-aware ordering, selective restart, no faults. *)
 
-val run : config -> Vm.Isa.program -> Exec.State.run_result
+val run :
+  ?lint:[ `Off | `Warn | `Strict ] ->
+  config ->
+  Vm.Isa.program ->
+  Exec.State.run_result
+(** Execute a program under GPRS.
+
+    Before execution the program is statically analyzed by GPRS-lint
+    ({!Lint.Check.program}) for lock discipline, deadlock-order cycles
+    and hybrid-recovery region soundness:
+
+    - [`Warn] (default): render any warning/error findings to stderr
+      once, then run anyway;
+    - [`Strict]: raise {!Lint.Check.Rejected} with the error-severity
+      findings instead of running — in particular a [Nonstd_atomic]
+      reachable outside a CPR region (which would make hybrid recovery
+      unsound, previously only counted at runtime under the
+      ["gprs.nonstd_unprotected"] stat) refuses to start;
+    - [`Off]: skip the analysis (for callers that linted already). *)

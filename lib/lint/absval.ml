@@ -1,0 +1,122 @@
+(* Abstract register values and probe evaluation of closure-typed
+   operands.
+
+   The virtual ISA identifies synchronization objects with closures
+   ([m : regs -> int]) rather than literal fields, so a static analysis
+   must recover the id without executing the program. Two mechanisms
+   combine here:
+
+   - bounded constant propagation: registers hold [Known v] or [Top];
+     [Work] bodies are probe-executed against a sandboxed {!Vm.Env.t}
+     (writes land in a scratch table, reads of untouched state return
+     probe-dependent fillers), so pure register moves like
+     [Builder.set_reg] propagate exactly while anything data-dependent
+     on shared memory, files or the tid demotes to [Top];
+
+   - probe evaluation of id closures: evaluate the closure under two
+     register vectors that agree on [Known] registers and differ on every
+     [Top] register (and under two memory fillers); agreement means the
+     closure's result is independent of everything unknown, so the value
+     is exact — disagreement demotes to [Top]. This resolves the
+     ubiquitous [fun _ -> k] ids regardless of register knowledge.
+
+   Probing runs workload OCaml code at lint time. That code is the same
+   code the interpreter runs, restricted to the [Env] interface, so it is
+   side-effect-free outside the sandbox; it is expected to terminate on
+   arbitrary register/memory values (all shipped workloads do — their
+   loops are OCaml-level, not fake-memory-driven). *)
+
+type t = Known of int | Top
+
+let equal a b =
+  match (a, b) with
+  | Known x, Known y -> x = y
+  | Top, Top -> true
+  | Known _, Top | Top, Known _ -> false
+
+let join a b = if equal a b then a else Top
+
+let pp ppf = function
+  | Known v -> Format.fprintf ppf "%d" v
+  | Top -> Format.pp_print_string ppf "T"
+
+(* Two deliberately weird, distinct filler families. A coincidental
+   agreement of both probes on unknown data would mis-resolve an id; the
+   fillers are large co-prime affine maps to make that vanishingly
+   unlikely for the arithmetic workloads write. *)
+let filler_a i = 0x5eed + (7919 * (i + 1))
+let filler_b i = 0x7a11 + (104729 * (i + 1))
+
+let concretize regs filler =
+  Array.init (Array.length regs) (fun i ->
+      match regs.(i) with Known v -> v | Top -> filler i)
+
+let top_regs n = Array.make n Top
+
+let all_known regs =
+  if Array.for_all (function Known _ -> true | Top -> false) regs then
+    Some (concretize regs filler_a)
+  else None
+
+let eval_int regs f =
+  match (f (concretize regs filler_a), f (concretize regs filler_b)) with
+  | a, b when a = b -> Known a
+  | _ -> Top
+  | exception _ -> Top
+
+let eval_int_array regs f =
+  match (f (concretize regs filler_a), f (concretize regs filler_b)) with
+  | a, b when Array.length a = Array.length b ->
+    Some
+      (Array.init (Array.length a) (fun i ->
+           if a.(i) = b.(i) then Known a.(i) else Top))
+  | _ -> None
+  | exception _ -> None
+
+(* Branch folding must never guess: a comparison can collapse two
+   disagreeing probes onto the same boolean (e.g. [r.(2) < 4] under two
+   huge fillers), which would hide a genuinely reachable path. Fold only
+   when every register is exactly known. *)
+let eval_cond regs f =
+  match all_known regs with
+  | None -> `Unknown
+  | Some concrete -> (
+    match f concrete with
+    | true -> `True
+    | false -> `False
+    | exception _ -> `Unknown)
+
+(* Sandboxed environment for probe-executing a [Work] body: writes are
+   remembered (so read-after-write within one body is consistent), reads
+   of untouched addresses and all file contents are salt-dependent, and
+   the tid differs between probes so tid-derived values demote to Top. *)
+let sandbox_env ~salt regs =
+  let written : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let files : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let h x = ((x * 0x9E3779B9) + salt) land 0x3FFF_FFFF in
+  {
+    Vm.Env.tid = salt land 0xFFF;
+    regs;
+    read =
+      (fun a ->
+        match Hashtbl.find_opt written a with Some v -> v | None -> h (a + 1));
+    write = (fun a v -> Hashtbl.replace written a v);
+    file_size = (fun fd -> h (fd + 0x1001) land 0xFFF);
+    file_read =
+      (fun fd ~off ->
+        match Hashtbl.find_opt files (fd, off) with
+        | Some v -> v
+        | None -> h ((fd * 65599) + off));
+    file_write = (fun fd ~off v -> Hashtbl.replace files (fd, off) v);
+  }
+
+let eval_work regs run =
+  let ra = concretize regs filler_a and rb = concretize regs filler_b in
+  match
+    run (sandbox_env ~salt:0x5eed0 ra);
+    run (sandbox_env ~salt:0x7a110 rb)
+  with
+  | () ->
+    Array.init (Array.length regs) (fun i ->
+        if ra.(i) = rb.(i) then Known ra.(i) else Top)
+  | exception _ -> top_regs (Array.length regs)

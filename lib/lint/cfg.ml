@@ -1,0 +1,54 @@
+(* Per-proc control-flow graph over the instruction array.
+
+   Program points are instruction indices [0 .. n-1] plus a virtual end
+   node [n]: the interpreters treat running off the end of the code array
+   as an implicit [Exit] (see [Exec.Baseline]), so falling through the
+   last instruction is an edge to [n], not an error. [Exit] terminates
+   (no successors); [Goto]/[If] jump anywhere, including out of bounds —
+   out-of-bounds targets are kept in the edge list so the checker can
+   diagnose them rather than crash. *)
+
+type t = {
+  code : Vm.Isa.instr array;
+  succs : int list array;  (* length n + 1; node n (virtual end) is empty *)
+}
+
+let end_node t = Array.length t.code
+
+let static_successors code pc =
+  match code.(pc) with
+  | Vm.Isa.Exit -> []
+  | Vm.Isa.Goto target -> [ target ]
+  | Vm.Isa.If { target; _ } -> [ target; pc + 1 ]
+  | Vm.Isa.Work _ | Vm.Isa.Opaque _ | Vm.Isa.Lock _ | Vm.Isa.Unlock _
+  | Vm.Isa.Barrier _ | Vm.Isa.Cond_wait _ | Vm.Isa.Cond_signal _
+  | Vm.Isa.Atomic _ | Vm.Isa.Nonstd_atomic _ | Vm.Isa.Fork _ | Vm.Isa.Join _
+  | Vm.Isa.Alloc _ | Vm.Isa.Free _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
+    [ pc + 1 ]
+
+let build (proc : Vm.Isa.proc) =
+  let code = proc.Vm.Isa.code in
+  let n = Array.length code in
+  let succs = Array.make (n + 1) [] in
+  for pc = 0 to n - 1 do
+    succs.(pc) <- static_successors code pc
+  done;
+  { code; succs }
+
+let successors t pc = if pc = end_node t then [] else t.succs.(pc)
+
+let in_bounds t pc = pc >= 0 && pc <= end_node t
+
+(* Nodes reachable from the entry, following static edges only (no
+   branch folding). Used for dead-code-aware reporting. *)
+let reachable t =
+  let n = end_node t in
+  let seen = Array.make (n + 1) false in
+  let rec go pc =
+    if in_bounds t pc && not seen.(pc) then begin
+      seen.(pc) <- true;
+      List.iter go (successors t pc)
+    end
+  in
+  go 0;
+  seen

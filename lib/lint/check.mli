@@ -1,0 +1,39 @@
+(** GPRS-lint: static CFG/dataflow analysis of a {!Vm.Isa.program}.
+
+    [program p] builds a per-proc control-flow graph, runs a forward
+    dataflow pass computing the abstract lockset, open-CPR-region depth
+    and constant registers at every program point (closure-typed object
+    ids are resolved by constant propagation plus two-filler probe
+    evaluation), and reports:
+
+    - lock discipline: unlock-without-lock, double-lock, a mutex held at
+      a blocking operation ([Exit]/[Barrier]/[Join]), [Cond_wait] whose
+      mutex is not held, path-inconsistent locksets at CFG joins;
+    - hybrid-recovery soundness (§3.5): unmatched/nested
+      [Cpr_begin]/[Cpr_end], and any [Nonstd_atomic] reachable with
+      region depth 0;
+    - cross-proc facts: a mutex acquisition-order graph (SCCs of two or
+      more mutexes are potential ABBA deadlocks) and which procs reach
+      each barrier, cross-checked against [barrier_parties];
+    - plumbing errors: out-of-range sync ids, unknown fork targets,
+      out-of-bounds branch targets, implicit exits.
+
+    The analysis is sound for the checks above up to id resolution:
+    unresolved ids degrade to an "unknown lock" element with warnings
+    rather than errors, so dynamically-chosen mutexes (e.g. per-bucket
+    locks) do not produce false errors. Diagnostics are deduplicated per
+    (proc, pc, kind) and sorted errors-first. *)
+
+exception Rejected of Diagnostic.t list
+(** Raised by strict-mode callers (see {!Gprs.Engine.run}) to refuse
+    executing a program with error-severity findings. *)
+
+val program : Vm.Isa.program -> Diagnostic.t list
+(** Analyze a program. Never raises; returns sorted diagnostics. *)
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+(** Just the [Error]-severity findings. *)
+
+val has_errors : Diagnostic.t list -> bool
+
+val has_kind : Diagnostic.kind -> Diagnostic.t list -> bool

@@ -1,0 +1,80 @@
+type severity = Info | Warning | Error
+
+type kind =
+  | Unlock_without_lock
+  | Unresolved_unlock
+  | Double_lock
+  | Lock_at_blocking
+  | Wait_without_mutex
+  | Inconsistent_locksets
+  | Lockset_overflow
+  | Unmatched_cpr_end
+  | Cpr_open_at_exit
+  | Nested_cpr
+  | Inconsistent_cpr
+  | Unprotected_nonstd
+  | Lock_order_cycle
+  | Bad_sync_id
+  | Unknown_fork_target
+  | Bad_branch_target
+  | Barrier_mismatch
+  | Barrier_coverage
+  | Unforked_proc
+  | Implicit_exit
+  | Analysis_budget
+
+type t = {
+  severity : severity;
+  kind : kind;
+  proc : string;
+  pc : int;
+  instr : string;
+  message : string;
+}
+
+let make ~severity ~kind ~proc ~pc ~instr message =
+  { severity; kind; proc; pc; instr; message }
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let kind_label = function
+  | Unlock_without_lock -> "unlock-without-lock"
+  | Unresolved_unlock -> "unresolved-unlock"
+  | Double_lock -> "double-lock"
+  | Lock_at_blocking -> "lock-at-blocking-op"
+  | Wait_without_mutex -> "wait-without-mutex"
+  | Inconsistent_locksets -> "inconsistent-locksets"
+  | Lockset_overflow -> "lockset-overflow"
+  | Unmatched_cpr_end -> "unmatched-cpr-end"
+  | Cpr_open_at_exit -> "cpr-open-at-exit"
+  | Nested_cpr -> "nested-cpr"
+  | Inconsistent_cpr -> "inconsistent-cpr-depth"
+  | Unprotected_nonstd -> "unprotected-nonstd-atomic"
+  | Lock_order_cycle -> "lock-order-cycle"
+  | Bad_sync_id -> "bad-sync-id"
+  | Unknown_fork_target -> "unknown-fork-target"
+  | Bad_branch_target -> "bad-branch-target"
+  | Barrier_mismatch -> "barrier-parties-mismatch"
+  | Barrier_coverage -> "barrier-coverage"
+  | Unforked_proc -> "unforked-proc"
+  | Implicit_exit -> "implicit-exit"
+  | Analysis_budget -> "analysis-budget-exhausted"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match Stdlib.compare a.proc b.proc with
+    | 0 -> Stdlib.compare (a.pc, a.message) (b.pc, b.message)
+    | c -> c)
+  | c -> c
+
+let site d = if d.pc < 0 then d.proc else Printf.sprintf "%s.%d" d.proc d.pc
+
+let pp ppf d =
+  Format.fprintf ppf "%s: [%s] %s (%s): %s" (severity_label d.severity)
+    (kind_label d.kind) (site d) d.instr d.message

@@ -328,6 +328,94 @@ let prop_barrier_counters =
       in
       (not r.Exec.State.dnc) && Vm.Mem.read r.Exec.State.final_mem 0 = 0)
 
+(* --- GPRS-lint: well-formed programs pass, mutations fail ------------- *)
+
+(* Straight-line single-proc programs assembled from three well-formed
+   segment shapes: pure compute, a balanced lock/compute/unlock critical
+   section, and a CPR region wrapping a non-standard atomic. Every
+   generated program gets at least one critical section and one region
+   appended so the mutation property always has something to break. *)
+type lint_seg = LCompute of int | LLocked of int * int | LRegion of int
+
+let lint_segs_gen =
+  Gen.(
+    map
+      (fun segs -> segs @ [ LLocked (0, 5); LRegion 5 ])
+      (list_size (int_range 0 12)
+         (frequency
+            [
+              (2, map (fun c -> LCompute (c + 1)) (int_range 0 50));
+              ( 3,
+                map2
+                  (fun m c -> LLocked (m, c + 1))
+                  (int_range 0 3) (int_range 0 50) );
+              (2, map (fun c -> LRegion (c + 1)) (int_range 0 50));
+            ])))
+
+let build_lint_prog segs =
+  let open Vm.Builder in
+  let m = proc "main" in
+  List.iter
+    (function
+      | LCompute c -> compute m c
+      | LLocked (mu, c) ->
+        lock_const m mu;
+        compute m c;
+        unlock_const m mu
+      | LRegion c ->
+        cpr_begin m;
+        compute m c;
+        nonstd_atomic m ~var:(fun _ -> 0) ~dst:1 (fun ~old _ -> old + 1);
+        cpr_end m)
+    segs;
+  exit_ m;
+  program ~n_mutexes:4 ~n_atomics:1 ~entry:"main" [ finish m ]
+
+let prop_lint_wellformed_clean =
+  case ~count:100 "lint: well-formed builder programs have no errors"
+    lint_segs_gen
+    (fun segs -> not (Lint.Check.has_errors (Lint.Check.program (build_lint_prog segs))))
+
+let prop_lint_mutation_caught =
+  case ~count:100 "lint: dropping an unlock or cpr_end is always an error"
+    Gen.(pair lint_segs_gen (int_range 0 1_000_000))
+    (fun (segs, pick) ->
+      let p = build_lint_prog segs in
+      let main = List.assoc "main" p.Vm.Isa.procs in
+      let droppable =
+        List.filteri (fun _ i ->
+            match i with Vm.Isa.Unlock _ | Vm.Isa.Cpr_end -> true | _ -> false)
+          (Array.to_list main.Vm.Isa.code)
+        |> List.length
+      in
+      let victim_idx =
+        (* index (among code positions) of the (pick mod droppable)-th
+           Unlock/Cpr_end instruction *)
+        let target = pick mod droppable in
+        let n = ref (-1) in
+        let found = ref (-1) in
+        Array.iteri
+          (fun i instr ->
+            match instr with
+            | Vm.Isa.Unlock _ | Vm.Isa.Cpr_end ->
+              incr n;
+              if !n = target then found := i
+            | _ -> ())
+          main.Vm.Isa.code;
+        !found
+      in
+      let code = Array.copy main.Vm.Isa.code in
+      code.(victim_idx) <-
+        Vm.Isa.Work { cost = (fun _ -> 0); run = (fun _ -> ()) };
+      let mutated =
+        {
+          p with
+          Vm.Isa.procs =
+            [ ("main", { main with Vm.Isa.code }) ];
+        }
+      in
+      Lint.Check.has_errors (Lint.Check.program mutated))
+
 (* --- System-level: globally precise restart -------------------------- *)
 
 let prop_gprs_recovery_exact =
@@ -392,6 +480,8 @@ let suite =
     prop_scheduler_conservation;
     prop_barrier_counters;
     prop_chunks_partition;
+    prop_lint_wellformed_clean;
+    prop_lint_mutation_caught;
     prop_gprs_recovery_exact;
     prop_cpr_recovery_exact;
   ]

@@ -13,6 +13,7 @@ let () =
       ("recovery", Test_recovery.suite);
       ("workloads", Test_workloads.suite);
       ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
       ("properties", Props.suite);
     ]
