@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON run against a committed baseline.
+
+Usage: python3 bench/compare.py BASELINE.json NEW.json [--factor F]
+
+Experiments are matched on (name, contexts, scale) and micro-benchmarks
+on name, so quick and full runs never gate each other. A measurement
+more than F x its baseline (default 3.0 — generous, CI machines are
+noisy) fails the run (exit 1); anything between 1x and F x is printed
+as a warning. Keys present on only one side are reported but never
+fail: new benchmarks land without a baseline, retired ones linger in
+the baseline until it is regenerated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index(run):
+    exps = {
+        (e["name"], e["contexts"], round(e["scale"], 4)): e["wall_s"]
+        for e in run.get("experiments", [])
+    }
+    micro = {m["name"]: m["ns_per_run"] for m in run.get("micro", [])}
+    return exps, micro
+
+
+def compare(kind, base, new, factor):
+    failures = []
+    for key in sorted(set(base) | set(new), key=str):
+        label = f"{kind} {key}"
+        if key not in base:
+            print(f"  NEW   {label}: {new[key]:.6g} (no baseline)")
+        elif key not in new:
+            print(f"  GONE  {label}: baseline {base[key]:.6g}, not in new run")
+        else:
+            b, n = base[key], new[key]
+            ratio = n / b if b > 0 else float("inf")
+            if ratio > factor:
+                print(f"  FAIL  {label}: {n:.6g} vs {b:.6g} ({ratio:.2f}x > {factor}x)")
+                failures.append(label)
+            elif ratio > 1.0:
+                print(f"  warn  {label}: {n:.6g} vs {b:.6g} ({ratio:.2f}x)")
+            else:
+                print(f"  ok    {label}: {n:.6g} vs {b:.6g} ({ratio:.2f}x)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--factor", type=float, default=3.0,
+                    help="fail when new > factor x baseline (default 3.0)")
+    args = ap.parse_args()
+
+    base, new = load(args.baseline), load(args.new)
+    base_exps, base_micro = index(base)
+    new_exps, new_micro = index(new)
+
+    print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
+    failures = compare("experiment", base_exps, new_exps, args.factor)
+    failures += compare("micro", base_micro, new_micro, args.factor)
+
+    if failures:
+        print(f"{len(failures)} regression(s) beyond {args.factor}x")
+        return 1
+    print("no regressions beyond the factor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,40 +5,65 @@
    1. Regenerates every table and figure of the paper's evaluation at
       bench scale (reduced inputs/contexts so the whole harness finishes
       in minutes; `dune exec bin/paper.exe` runs the full-scale version)
-      — these are the rows/series the paper reports.
+      — these are the rows/series the paper reports. Each experiment's
+      wall-clock is recorded.
 
    2. One Bechamel micro-benchmark per table/figure, timing the
-      simulator codepath that experiment exercises. *)
+      simulator codepath that experiment exercises.
+
+   `--json FILE` writes the wall-clock and ns/run numbers as JSON — the
+   committed BENCH_BASELINE.json is one such run, and bench/compare.py
+   gates CI against it. `--quick` shrinks part 1's inputs and part 2's
+   quota for smoke runs; quick and full runs record different
+   (name, contexts, scale) keys, so the comparator never conflates
+   them. *)
 
 open Bechamel
 open Toolkit
 
-let bench_cfg =
-  {
-    Analysis.Experiments.default_cfg with
-    Analysis.Experiments.n_contexts = 8;
-    scale = 0.1;
-    dnc_factor = 20;
-  }
-
-let micro_cfg =
-  {
-    Analysis.Experiments.default_cfg with
-    Analysis.Experiments.n_contexts = 4;
-    scale = 0.03;
-    dnc_factor = 25;
-  }
-
 let ppf = Format.std_formatter
+
+type exp_entry = {
+  e_name : string;
+  e_contexts : int;
+  e_scale : float;
+  e_wall_s : float;
+}
+
+type micro_entry = { m_name : string; m_ns_per_run : float }
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's rows/series at bench scale                      *)
 (* ------------------------------------------------------------------ *)
 
-let print_experiments () =
+let bench_cfg ~jobs ~quick =
+  {
+    Analysis.Experiments.default_cfg with
+    Analysis.Experiments.n_contexts = 8;
+    scale = (if quick then 0.05 else 0.1);
+    dnc_factor = 20;
+    jobs;
+  }
+
+let print_experiments ~jobs ~quick =
+  let cfg = bench_cfg ~jobs ~quick in
+  let entries = ref [] in
+  let timed name ~contexts ~scale f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    entries :=
+      { e_name = name; e_contexts = contexts; e_scale = scale; e_wall_s = wall }
+      :: !entries;
+    r
+  in
+  let timed_cfg name c f =
+    timed name ~contexts:c.Analysis.Experiments.n_contexts
+      ~scale:c.Analysis.Experiments.scale (fun () -> f c)
+  in
   Format.fprintf ppf
     "=== GPRS paper evaluation (bench scale: %d contexts, scale %.2f) ===@.@."
-    bench_cfg.Analysis.Experiments.n_contexts bench_cfg.Analysis.Experiments.scale;
+    cfg.Analysis.Experiments.n_contexts cfg.Analysis.Experiments.scale;
   Analysis.Report.render_table ppf ~title:"Table 1 — Related work (qualitative)"
     ~header:
       [ "Proposal"; "Recovery"; "Design"; "Chkpt."; "Rec."; "Scalable"; "Det."; "Det. cost" ]
@@ -47,24 +72,37 @@ let print_experiments () =
   Analysis.Report.render_table ppf
     ~title:"Table 2 — Programs and their relative characteristics"
     ~header:[ "Program"; "Comp."; "Sync."; "Crit."; "Exec(s)"; "Sub-size"; "#Subs" ]
-    (Analysis.Experiments.table2 bench_cfg);
+    (timed_cfg "table2" cfg Analysis.Experiments.table2);
   Format.fprintf ppf "@.";
-  Analysis.Report.render_figure ppf (Analysis.Experiments.fig8a bench_cfg);
+  Analysis.Report.render_figure ppf (timed_cfg "fig8a" cfg Analysis.Experiments.fig8a);
   Format.fprintf ppf "@.";
-  Analysis.Report.render_figure ppf (Analysis.Experiments.fig8b bench_cfg);
+  Analysis.Report.render_figure ppf (timed_cfg "fig8b" cfg Analysis.Experiments.fig8b);
   Format.fprintf ppf "@.";
-  Analysis.Report.render_figure ppf (Analysis.Experiments.fig9 bench_cfg);
+  Analysis.Report.render_figure ppf (timed_cfg "fig9" cfg Analysis.Experiments.fig9);
   Format.fprintf ppf "@.";
-  Analysis.Report.render_figure ppf (Analysis.Experiments.fig10 bench_cfg);
+  Analysis.Report.render_figure ppf (timed_cfg "fig10" cfg Analysis.Experiments.fig10);
   Format.fprintf ppf "@.";
+  let fig11_cfg =
+    { cfg with Analysis.Experiments.scale = (if quick then 0.04 else 0.08) }
+  in
+  let fig11_contexts = if quick then [ 1; 4 ] else [ 1; 4; 8 ] in
   Analysis.Experiments.render_fig11 ppf
-    (Analysis.Experiments.fig11 ~contexts:[ 1; 4; 8 ]
-       { bench_cfg with Analysis.Experiments.scale = 0.08 });
-  Format.fprintf ppf "@."
+    (timed_cfg "fig11" fig11_cfg
+       (Analysis.Experiments.fig11 ~contexts:fig11_contexts));
+  Format.fprintf ppf "@.";
+  List.rev !entries
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure             *)
 (* ------------------------------------------------------------------ *)
+
+let micro_cfg =
+  {
+    Analysis.Experiments.default_cfg with
+    Analysis.Experiments.n_contexts = 4;
+    scale = 0.03;
+    dnc_factor = 25;
+  }
 
 let spec name = Workloads.Suite.find name
 
@@ -123,18 +161,30 @@ let t_fig11 =
            (Analysis.Experiments.run_gprs ~rate:60.0 micro_cfg (spec "pbzip2")
               ~grain:Workloads.Workload.Default)))
 
-let tests =
-  [ t_table1; t_table2; t_fig8a; t_fig8b; t_fig9; t_fig10; t_fig11 ]
+let t_cpr_snapshot =
+  Test.make ~name:"cpr:dirty-page-ckpt(re,faults)"
+    (Staged.stage (fun () ->
+         ignore
+           (Analysis.Experiments.run_cpr ~rate:40.0 micro_cfg (spec "re")
+              ~grain:Workloads.Workload.Default)))
 
-let run_micro () =
+let tests =
+  [
+    t_table1; t_table2; t_fig8a; t_fig8b; t_fig9; t_fig10; t_fig11;
+    t_cpr_snapshot;
+  ]
+
+let run_micro ~quick =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:true ()
+    if quick then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) ~stabilize:true ()
+    else Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:true ()
   in
   Format.fprintf ppf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
+  let entries = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -143,12 +193,94 @@ let run_micro () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-            Format.fprintf ppf "%-36s %12.0f ns/run@." name est
+            Format.fprintf ppf "%-36s %12.0f ns/run@." name est;
+            entries := { m_name = name; m_ns_per_run = est } :: !entries
           | Some _ | None -> Format.fprintf ppf "%-36s (no estimate)@." name)
         analyzed)
     tests;
-  Format.fprintf ppf "@."
+  Format.fprintf ppf "@.";
+  List.rev !entries
 
-let () =
-  print_experiments ();
-  run_micro ()
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~quick ~jobs ~experiments ~micro =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"experiments\": [\n";
+  List.iteri
+    (fun i e ->
+      p "    {\"name\": \"%s\", \"contexts\": %d, \"scale\": %.4f, \"wall_s\": %.6f}%s\n"
+        (json_escape e.e_name) e.e_contexts e.e_scale e.e_wall_s
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
+  p "  ],\n";
+  p "  \"micro\": [\n";
+  List.iteri
+    (fun i m ->
+      p "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n" (json_escape m.m_name)
+        m.m_ns_per_run
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.fprintf ppf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let main json jobs quick =
+  let jobs =
+    if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
+  in
+  let experiments = print_experiments ~jobs ~quick in
+  let micro = run_micro ~quick in
+  match json with
+  | Some path -> write_json path ~quick ~jobs ~experiments ~micro
+  | None -> ()
+
+open Cmdliner
+
+let json =
+  let doc = "Write per-experiment wall-clock and micro ns/run numbers to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for the part-1 experiment drivers; 0 means one per \
+     recommended core. Experiment rows are bit-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let quick =
+  let doc =
+    "Micro-scale smoke run: smaller part-1 inputs, shorter part-2 quota. \
+     Used by the CI bench job."
+  in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let cmd =
+  let doc = "GPRS benchmark harness (paper evaluation + micro-benchmarks)" in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const main $ json $ jobs $ quick)
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,7 +1,7 @@
 (* Regenerate the paper's tables and figures.
 
    Usage: paper [table1|table2|fig8a|fig8b|fig9|fig10|fig11|all]
-                [--contexts N] [--scale S] [--seed K]
+                [--contexts N] [--scale S] [--seed K] [-j JOBS]
 
    Each driver runs the simulator; see EXPERIMENTS.md for the recorded
    paper-vs-measured comparison. *)
@@ -56,13 +56,17 @@ let experiments =
 let ablations =
   [ "ablate-order"; "ablate-latency"; "ablate-recovery"; "ablate-interval"; "tune-weights" ]
 
-let main which contexts scale seed charts =
+let main which contexts scale seed charts jobs =
+  let jobs =
+    if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
+  in
   let cfg =
     {
       Analysis.Experiments.default_cfg with
       Analysis.Experiments.n_contexts = contexts;
       scale;
       seed;
+      jobs;
     }
   in
   let targets =
@@ -101,10 +105,18 @@ let charts =
   let doc = "Also render figures as ASCII bar charts." in
   Arg.(value & flag & info [ "charts" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for running independent simulations in parallel; 0 \
+     means one per recommended core. Output is bit-identical for any \
+     value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
 let cmd =
   let doc = "regenerate the GPRS paper's tables and figures" in
   Cmd.v
     (Cmd.info "paper" ~doc)
-    Term.(const main $ which $ contexts $ scale $ seed $ charts)
+    Term.(const main $ which $ contexts $ scale $ seed $ charts $ jobs)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,6 +1,13 @@
-type cfg = { n_contexts : int; scale : float; seed : int; dnc_factor : int }
+type cfg = {
+  n_contexts : int;
+  scale : float;
+  seed : int;
+  dnc_factor : int;
+  jobs : int;  (** worker domains for fanning out independent runs *)
+}
 
-let default_cfg = { n_contexts = 24; scale = 1.0; seed = 1; dnc_factor = 30 }
+let default_cfg =
+  { n_contexts = 24; scale = 1.0; seed = 1; dnc_factor = 30; jobs = 1 }
 
 (* ------------------------------------------------------------------ *)
 (* Engine front-ends                                                   *)
@@ -35,6 +42,7 @@ let run_gprs ?(ordering = Gprs.Order.Balance_aware) ?(costs = Vm.Costs.default)
     (build cfg spec ~grain)
 
 let baseline_cache : (string, int) Hashtbl.t = Hashtbl.create 32
+let baseline_cache_lock = Mutex.create ()
 
 let baseline_cycles cfg spec ~grain =
   let key =
@@ -42,11 +50,16 @@ let baseline_cycles cfg spec ~grain =
       cfg.seed
       (match grain with Workloads.Workload.Default -> "d" | Workloads.Workload.Fine -> "f")
   in
-  match Hashtbl.find_opt baseline_cache key with
+  let cached =
+    Mutex.protect baseline_cache_lock (fun () ->
+        Hashtbl.find_opt baseline_cache key)
+  in
+  match cached with
   | Some c -> c
   | None ->
     let r = run_pthreads cfg spec ~grain:Workloads.Workload.Default in
-    Hashtbl.replace baseline_cache key r.Exec.State.sim_cycles;
+    Mutex.protect baseline_cache_lock (fun () ->
+        Hashtbl.replace baseline_cache key r.Exec.State.sim_cycles);
     r.Exec.State.sim_cycles
 
 let run_cpr ?interval ?(rate = 0.0) ?max_cycles cfg spec ~grain =
@@ -121,7 +134,7 @@ let sub_size_class mean_cycles =
   else "large"
 
 let table2 cfg =
-  List.map
+  Pool.map ~jobs:cfg.jobs
     (fun (spec : Workloads.Workload.spec) ->
       let p = run_pthreads cfg spec ~grain:Workloads.Workload.Default in
       let g = run_gprs cfg spec ~grain:Workloads.Workload.Default in
@@ -150,7 +163,7 @@ let with_label l b = { b with Report.label = l }
 
 let fig8 cfg ~grain ~id ~title =
   let rows =
-    List.map
+    Pool.map ~jobs:cfg.jobs
       (fun (spec : Workloads.Workload.spec) ->
         let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
         let budget = Some (cfg.dnc_factor * base) in
@@ -206,7 +219,7 @@ let fig9_programs = [ "barnes-hut"; "blackscholes"; "swaptions"; "canneal" ]
 
 let fig9 cfg =
   let rows =
-    List.map
+    Pool.map ~jobs:cfg.jobs
       (fun name ->
         let spec = Workloads.Suite.find name in
         let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
@@ -256,7 +269,7 @@ let fig10_exceptions = function
 
 let fig10 cfg =
   let rows =
-    List.map
+    Pool.map ~jobs:cfg.jobs
       (fun (spec : Workloads.Workload.spec) ->
         let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
         let budget = Some (cfg.dnc_factor * base) in
@@ -306,7 +319,7 @@ type fig11_result = {
 let fig11 ?rates ?(contexts = [ 1; 2; 4; 8; 16; 24 ]) cfg =
   let spec = Workloads.Suite.find "pbzip2" in
   let series engine_run ctxs =
-    List.map
+    Pool.map ~jobs:cfg.jobs
       (fun n ->
         let cfg_n = { cfg with n_contexts = n } in
         let base = baseline_cycles cfg_n spec ~grain:Workloads.Workload.Default in
@@ -401,7 +414,8 @@ let render_fig11 ppf r =
 let ablation_ordering cfg =
   let programs = [ "pbzip2"; "dedup"; "re" ] in
   let rows =
-    List.concat_map
+    List.concat
+    @@ Pool.map ~jobs:cfg.jobs
       (fun name ->
         let spec = Workloads.Suite.find name in
         let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
@@ -480,7 +494,7 @@ let ablation_latency cfg =
 
 let ablation_recovery cfg =
   let rows =
-    List.map
+    Pool.map ~jobs:cfg.jobs
       (fun (spec : Workloads.Workload.spec) ->
         let base = baseline_cycles cfg spec ~grain:Workloads.Workload.Default in
         let budget = Some (cfg.dnc_factor * base) in

@@ -15,10 +15,15 @@ type cfg = {
   scale : float;
   seed : int;
   dnc_factor : int;  (** DNC budget as a multiple of the fault-free time *)
+  jobs : int;
+      (** worker domains the drivers fan independent runs across
+          ({!Pool.map}); results are reassembled in workload order, so
+          any [jobs] produces bit-identical output *)
 }
 
 val default_cfg : cfg
-(** 24 contexts (the paper's machine), scale 1.0, seed 1, budget 30x. *)
+(** 24 contexts (the paper's machine), scale 1.0, seed 1, budget 30x,
+    sequential ([jobs = 1]). *)
 
 (** {1 Engine front-ends} (shared by the drivers, the CLI and the tests) *)
 

@@ -1,0 +1,43 @@
+(* Bounded worker pool over OCaml 5 domains. Each simulation run is a
+   sealed deterministic single-threaded computation, so fanning the
+   per-workload/per-engine runs across domains changes wall-clock only:
+   results are reassembled in input order, making `-j N` output
+   bit-identical to `-j 1`. *)
+
+let available_jobs () = Domain.recommended_domain_count ()
+
+type 'b outcome = Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ~jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = Stdlib.min jobs n in
+  if jobs <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Value (f items.(i))
+            with e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Value v) -> v
+           | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end

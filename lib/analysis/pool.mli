@@ -1,0 +1,18 @@
+(** Bounded domain pool for fanning out independent simulation runs.
+
+    The experiment drivers are embarrassingly parallel: each run is a
+    sealed, deterministic, single-threaded simulation. [map] distributes
+    the items over at most [jobs] OCaml 5 domains (including the calling
+    one) and reassembles results in input order, so parallel output is
+    bit-identical to sequential output. *)
+
+val available_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the natural [-j] default. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items], computed by up to [jobs]
+    domains. [jobs <= 1] runs sequentially in the calling domain with no
+    domain spawned. [f] must not touch shared mutable state (the drivers'
+    baseline cache is internally locked). If any application raises, the
+    first (lowest-index) exception is re-raised after all workers
+    drain. *)

@@ -637,9 +637,8 @@ module Int_set = Set.Make (Int)
    already-squashed sub-thread. A single ascending pass reaches the
    fixpoint because dependence only flows from older to younger. *)
 let compute_squash_set eng (victim : Subthread.t) =
-  let younger = Rol.younger_than eng.rol victim.Subthread.id in
   match eng.cfg.recovery with
-  | Basic -> victim :: younger
+  | Basic -> victim :: Rol.younger_than eng.rol victim.Subthread.id
   | Selective ->
     let squashed = ref [ victim ] in
     let squashed_tids = Hashtbl.create 8 in
@@ -648,8 +647,7 @@ let compute_squash_set eng (victim : Subthread.t) =
     List.iter
       (fun t -> Hashtbl.replace forked_tids t ())
       victim.Subthread.forked;
-    List.iter
-      (fun (s : Subthread.t) ->
+    Rol.iter_younger eng.rol ~than:victim.Subthread.id (fun (s : Subthread.t) ->
         let dependent =
           Hashtbl.mem squashed_tids s.Subthread.tid
           || Hashtbl.mem forked_tids s.Subthread.tid
@@ -659,8 +657,7 @@ let compute_squash_set eng (victim : Subthread.t) =
           squashed := s :: !squashed;
           Hashtbl.replace squashed_tids s.Subthread.tid ();
           List.iter (fun t -> Hashtbl.replace forked_tids t ()) s.Subthread.forked
-        end)
-      younger;
+        end);
     List.rev !squashed
 
 let destroy_thread eng tid =

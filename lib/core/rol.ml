@@ -1,48 +1,94 @@
-module Int_set = Set.Make (Int)
+(* Id-indexed growable ring. Sub-thread ids are allocated monotonically,
+   so a live entry's slot is [id land mask] and the live span [lo, hi)
+   never exceeds the capacity: insert, find, remove, head and retire are
+   all O(1) (head amortized — [lo] advances lazily past removed slots,
+   once per id ever inserted). *)
 
 type t = {
-  tbl : (int, Subthread.t) Hashtbl.t;
-  mutable ids : Int_set.t;
+  mutable buf : Subthread.t option array;  (* length is a power of two *)
+  mutable mask : int;
+  mutable lo : int;  (* no live entry has id < lo *)
+  mutable hi : int;  (* one past the largest id ever inserted *)
+  mutable live : int;
   mutable hw : int;
 }
 
-let create () = { tbl = Hashtbl.create 256; ids = Int_set.empty; hw = 0 }
+let initial_capacity = 256
+
+let create () =
+  {
+    buf = Array.make initial_capacity None;
+    mask = initial_capacity - 1;
+    lo = 0;
+    hi = 0;
+    live = 0;
+    hw = 0;
+  }
+
+let slot t id = id land t.mask
+
+(* Advance [lo] past dead slots so the head sits at [slot lo]. *)
+let normalize t =
+  while t.lo < t.hi && t.buf.(slot t t.lo) = None do
+    t.lo <- t.lo + 1
+  done
+
+let grow t ~span =
+  let cap = ref (Array.length t.buf) in
+  while !cap < span do
+    cap := !cap * 2
+  done;
+  let buf = Array.make !cap None in
+  let mask = !cap - 1 in
+  for id = t.lo to t.hi - 1 do
+    buf.(id land mask) <- t.buf.(id land t.mask)
+  done;
+  t.buf <- buf;
+  t.mask <- mask
 
 let insert t (sub : Subthread.t) =
-  if Hashtbl.mem t.tbl sub.Subthread.id then
-    invalid_arg "Rol.insert: duplicate id";
-  Hashtbl.add t.tbl sub.Subthread.id sub;
-  t.ids <- Int_set.add sub.Subthread.id t.ids;
-  let n = Int_set.cardinal t.ids in
-  if n > t.hw then t.hw <- n
+  let id = sub.Subthread.id in
+  if id < t.lo then invalid_arg "Rol.insert: id below retired horizon";
+  let hi' = Stdlib.max t.hi (id + 1) in
+  if hi' - t.lo > Array.length t.buf then grow t ~span:(2 * (hi' - t.lo));
+  if t.buf.(slot t id) <> None then invalid_arg "Rol.insert: duplicate id";
+  t.buf.(slot t id) <- Some sub;
+  t.hi <- hi';
+  t.live <- t.live + 1;
+  if t.live > t.hw then t.hw <- t.live
 
-let find t id = Hashtbl.find_opt t.tbl id
+let find t id =
+  if id < t.lo || id >= t.hi then None else t.buf.(slot t id)
 
 let remove t id =
-  if Hashtbl.mem t.tbl id then begin
-    Hashtbl.remove t.tbl id;
-    t.ids <- Int_set.remove id t.ids
+  if id >= t.lo && id < t.hi && t.buf.(slot t id) <> None then begin
+    t.buf.(slot t id) <- None;
+    t.live <- t.live - 1
   end
 
 let head t =
-  match Int_set.min_elt_opt t.ids with
-  | None -> None
-  | Some id -> Hashtbl.find_opt t.tbl id
+  normalize t;
+  if t.lo >= t.hi then None else t.buf.(slot t t.lo)
 
-let min_live_id t = Int_set.min_elt_opt t.ids
+let min_live_id t =
+  normalize t;
+  if t.lo >= t.hi then None else Some t.lo
 
-let size t = Int_set.cardinal t.ids
+let size t = t.live
 let max_size t = t.hw
-let is_empty t = Int_set.is_empty t.ids
+let is_empty t = t.live = 0
+
+let iter_younger t ~than f =
+  for id = Stdlib.max (than + 1) t.lo to t.hi - 1 do
+    match t.buf.(slot t id) with Some sub -> f sub | None -> ()
+  done
 
 let younger_than t id =
-  Int_set.fold
-    (fun i acc -> if i > id then Hashtbl.find t.tbl i :: acc else acc)
-    t.ids []
-  |> List.rev
+  let acc = ref [] in
+  iter_younger t ~than:id (fun sub -> acc := sub :: !acc);
+  List.rev !acc
 
-let to_list t =
-  Int_set.fold (fun i acc -> Hashtbl.find t.tbl i :: acc) t.ids [] |> List.rev
+let to_list t = younger_than t (t.lo - 1)
 
 let retire_ready t ~now ~latency =
   let rec go acc =

@@ -3,14 +3,19 @@
     The analogue of a superscalar reorder buffer (§3.2). Sub-threads enter
     in creation (order) position; the head is the oldest unretired
     sub-thread. Retirement removes exception-free completed heads;
-    recovery removes arbitrary squashed entries. *)
+    recovery removes arbitrary squashed entries.
+
+    Implemented as an id-indexed growable ring (ids are allocated
+    monotonically), so insert/find/remove/head/retire are O(1) and the
+    suffix walks are plain scans with no intermediate structure. *)
 
 type t
 
 val create : unit -> t
 
 val insert : t -> Subthread.t -> unit
-(** Ids must be unique; raises [Invalid_argument] otherwise. *)
+(** Ids must be unique and at or above the retired horizon (they are
+    allocated monotonically); raises [Invalid_argument] otherwise. *)
 
 val find : t -> int -> Subthread.t option
 
@@ -28,6 +33,10 @@ val max_size : t -> int
 (** High-water depth, reported in the stats. *)
 
 val is_empty : t -> bool
+
+val iter_younger : t -> than:int -> (Subthread.t -> unit) -> unit
+(** Apply [f] to every live entry with [id > than], oldest first,
+    without materializing a list — the recovery squash walk. *)
 
 val younger_than : t -> int -> Subthread.t list
 (** Entries with [id > given], oldest first — the suffix recovery walks. *)

@@ -36,10 +36,13 @@ type event =
   | Restore_done
 
 (* A committed coordinated checkpoint: the restartable image of every
-   thread plus synchronization-object and allocator state. Data words are
-   restored through the undo logs, so they are not copied here. *)
+   thread plus synchronization-object and allocator state. Data words
+   live in a page-granular dirty-tracked [Vm.Mem.image]: taking a
+   checkpoint copies only pages written since the image was last synced,
+   and restoring copies back only pages written since it was taken. *)
 type snapshot = {
   taken_at : int;
+  image : Vm.Mem.image;
   n_threads : int;
   live_threads : int;
   tcbs : Vm.Tcb.saved array;
@@ -72,6 +75,9 @@ type eng = {
      writes since the newest; [prev_log] covers the interval between the
      two. *)
   mutable snaps : snapshot list;
+  (* Data images of dropped snapshots, recycled so steady-state
+     checkpointing allocates nothing. *)
+  mutable image_pool : Vm.Mem.image list;
   mutable cur_log : Exec.Undo_log.t;
   mutable prev_log : Exec.Undo_log.t;
   mutable alarm : Sim.Event_queue.handle option;
@@ -94,11 +100,22 @@ let note_work eng tid d =
 
 let now eng = Exec.State.now eng.st
 
+let grab_image eng =
+  match eng.image_pool with
+  | img :: rest ->
+    eng.image_pool <- rest;
+    img
+  | [] -> Vm.Mem.alloc_image eng.st.Exec.State.mem
+
 let take_snapshot eng =
   let st = eng.st in
   let n = st.Exec.State.n_threads in
+  let image = grab_image eng in
+  let copied = Vm.Mem.capture st.Exec.State.mem image in
+  Sim.Stats.add st.Exec.State.stats "cpr.snap_words_copied" copied;
   {
     taken_at = now eng;
+    image;
     n_threads = n;
     live_threads = st.Exec.State.live_threads;
     tcbs = Array.init n (fun i -> Vm.Tcb.copy_state st.Exec.State.threads.(i));
@@ -144,6 +161,8 @@ let restore_snapshot eng snap =
   Array.iteri
     (fun i arrived -> st.Exec.State.barriers.(i).Exec.State.arrived <- arrived)
     snap.barrier_state;
+  let copied = Vm.Mem.restore_image st.Exec.State.mem snap.image in
+  Sim.Stats.add st.Exec.State.stats "cpr.snap_words_uncopied" copied;
   Vm.Mem.restore_alloc st.Exec.State.mem snap.alloc_state;
   eng.work_done <- Array.copy snap.work_done
 
@@ -363,10 +382,11 @@ let commit_checkpoint eng =
      (the detection latency is far below the checkpoint interval). *)
   (match eng.snaps with
   | [] -> eng.snaps <- [ snap ]
-  | s1 :: _ ->
+  | s1 :: dropped ->
+    List.iter (fun s -> eng.image_pool <- s.image :: eng.image_pool) dropped;
     eng.snaps <- [ snap; s1 ];
     eng.prev_log <- eng.cur_log);
-  eng.cur_log <- Exec.Undo_log.create ();
+  eng.cur_log <- Exec.Undo_log.create ~paged:st.Exec.State.mem ();
   st.Exec.State.current_undo <- Some eng.cur_log;
   (* A rollback only resets the livelock counter when the program has
      banked genuinely new progress, which a gated commit certifies. *)
@@ -444,7 +464,12 @@ let begin_restore eng ~occurred_at =
     restore_snapshot eng snap;
     Sim.Stats.add st.Exec.State.stats "cpr.lost_cycles" (now eng - snap.taken_at);
     eng.restore_resets_to <- snap.taken_at;
-    if undo_prev_too then eng.snaps <- [ snap ]
+    if undo_prev_too then begin
+      (match eng.snaps with
+      | s2 :: _ when s2 != snap -> eng.image_pool <- s2.image :: eng.image_pool
+      | _ -> ());
+      eng.snaps <- [ snap ]
+    end
   | None -> failwith "Cpr: no checkpoint to restore (missing initial snapshot)");
   (* Squashed threads may reappear with the same tids on re-execution;
      the run queue is rebuilt from the restored thread states. *)
@@ -548,8 +573,9 @@ let run cfg program =
       queued = Hashtbl.create 64;
       mode = Normal;
       snaps = [];
-      cur_log = Exec.Undo_log.create ();
-      prev_log = Exec.Undo_log.create ();
+      image_pool = [];
+      cur_log = Exec.Undo_log.create ~paged:st.Exec.State.mem ();
+      prev_log = Exec.Undo_log.create ~paged:st.Exec.State.mem ();
       alarm = None;
       ckpt_done_handle = None;
       quiesce_started = 0;

@@ -19,7 +19,15 @@ type key =
 
 type t
 
-val create : unit -> t
+val create : ?paged:Vm.Mem.t -> unit -> t
+(** A fresh log. With [?paged], memory first-writes are detected through
+    [mem]'s per-word dirty epoch ({!Vm.Mem.touch}) and only {e counted} —
+    no pre-image entries are kept for them, because the owner restores
+    data words page-wise via {!Vm.Mem.restore_image}. Non-memory keys
+    (atomics, files) always keep full pre-image entries. The paged
+    variant requires log intervals to stay in lockstep with the memory's
+    dirty epochs: open a fresh log exactly when an epoch is advanced by
+    {!Vm.Mem.capture}/{!Vm.Mem.restore_image}. *)
 
 val note : t -> key -> old:int -> bool
 (** Record the pre-image of [key] unless this log already holds one.
@@ -34,7 +42,9 @@ val is_empty : t -> bool
 val replay :
   mem:Vm.Mem.t -> atomics:int array -> io:Vm.Io.t -> t -> int
 (** Undo all recorded writes, newest first; returns the number of words
-    restored. The log is left empty and reusable. *)
+    restored (for paged logs this includes the counted memory touches,
+    whose data the caller restores via {!Vm.Mem.restore_image}). The log
+    is left empty and reusable. *)
 
 val keys : t -> key list
 (** Recorded locations, newest first; for tests. *)
@@ -43,4 +53,5 @@ val merge_newer : older:t -> t -> unit
 (** Fold a newer epoch's pre-images into an older log: entries for
     locations the older log already tracks are dropped (the older
     pre-image wins). Used when CPR commits a checkpoint that later gets
-    aborted, and when GPRS subsumes nested recovery scopes. *)
+    aborted, and when GPRS subsumes nested recovery scopes. Raises
+    [Invalid_argument] on paged logs. *)

@@ -65,10 +65,34 @@ let schedule q ~time payload =
   sift_up q (q.size - 1);
   H cell
 
+let heap_size q = q.size
+
+(* Rebuild the heap without the cancelled cells (Floyd heapify). Pop
+   order is untouched: it is fully determined by the (time, seq) total
+   order, not by heap shape. *)
+let compact q =
+  let n = ref 0 in
+  for i = 0 to q.size - 1 do
+    let c = q.heap.(i) in
+    if not c.cancelled then begin
+      q.heap.(!n) <- c;
+      incr n
+    end
+  done;
+  q.size <- !n;
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
 let cancel q (H cell) =
   if not cell.cancelled && not cell.fired then begin
     cell.cancelled <- true;
-    q.live <- q.live - 1
+    q.live <- q.live - 1;
+    (* Long fault-injection sweeps cancel timers far faster than lazy
+       deletion at the top drains them; compact once cancelled cells
+       outnumber live ones so every sift stays proportional to the live
+       population. *)
+    if q.size >= 64 && q.size - q.live > q.size / 2 then compact q
   end
 
 let remove_top q =

@@ -24,7 +24,15 @@ val schedule : 'a t -> time:Time.cycles -> 'a -> handle
     [>= now q] if the queue has ever been popped; this is asserted. *)
 
 val cancel : 'a t -> handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-fired or already-cancelled event is a no-op.
+    When cancelled cells come to outnumber live ones (beyond a small
+    minimum size), the heap is compacted so sift costs track the live
+    population rather than the cancellation history. *)
+
+val heap_size : 'a t -> int
+(** Physical heap occupancy, including not-yet-reclaimed cancelled
+    cells; [length q <= heap_size q] always. For tests and
+    diagnostics. *)
 
 val pop : 'a t -> (Time.cycles * 'a) option
 (** Removes and returns the earliest live event. [None] when empty. *)

@@ -1,12 +1,27 @@
 type addr = int
 
+(* Dirty tracking is page-granular: a write stamps its page with the
+   current epoch, and snapshot images remember the epoch they were last
+   synced at, so capture/restore touch only pages stamped since then. *)
+let page_bits = 6
+let page_words = 1 lsl page_bits
+
 type t = {
   mutable data : int array;
   mutable static_brk : int;
   (* Free blocks sorted by address; first-fit with splitting. *)
   mutable free_list : (addr * int) list;
   allocated : (addr, int) Hashtbl.t;
+  (* Monotone clock for dirty tracking. Bumped by [capture] and
+     [restore_image]; never by plain writes. *)
+  mutable epoch : int;
+  (* Per-page epoch of the last write (or restore) landing in the page. *)
+  mutable page_epoch : int array;
+  (* Per-word epoch of the last counted first-touch; see [touch]. *)
+  mutable word_epoch : int array;
 }
+
+let n_pages words = (words + page_words - 1) lsr page_bits
 
 let create ~words =
   {
@@ -14,12 +29,73 @@ let create ~words =
     static_brk = 0;
     free_list = [ (0, words) ];
     allocated = Hashtbl.create 64;
+    epoch = 1;
+    page_epoch = Array.make (n_pages words) 0;
+    word_epoch = Array.make words 0;
   }
 
 let words t = Array.length t.data
 
 let read t a = t.data.(a)
-let write t a v = t.data.(a) <- v
+
+let write t a v =
+  t.data.(a) <- v;
+  t.page_epoch.(a lsr page_bits) <- t.epoch
+
+let touch t a =
+  if t.word_epoch.(a) < t.epoch then begin
+    t.word_epoch.(a) <- t.epoch;
+    true
+  end
+  else false
+
+type image = {
+  img_data : int array;
+  (* Epoch the image was last synced at; -1 means never (full copy). *)
+  mutable synced_at : int;
+}
+
+let alloc_image t = { img_data = Array.make (words t) 0; synced_at = -1 }
+
+let blit_pages ~src ~dst ~page_epoch ~since ~total =
+  let np = n_pages total in
+  let copied = ref 0 in
+  for p = 0 to np - 1 do
+    if page_epoch.(p) > since then begin
+      let off = p lsl page_bits in
+      let len = min page_words (total - off) in
+      Array.blit src off dst off len;
+      copied := !copied + len
+    end
+  done;
+  !copied
+
+let capture t img =
+  let copied =
+    blit_pages ~src:t.data ~dst:img.img_data ~page_epoch:t.page_epoch
+      ~since:img.synced_at ~total:(words t)
+  in
+  img.synced_at <- t.epoch;
+  t.epoch <- t.epoch + 1;
+  copied
+
+let restore_image t img =
+  (* Every page written since the image was synced differs (or may
+     differ) from the image; copy those back and re-stamp them so other
+     retained images see them as dirty too. *)
+  let np = n_pages (words t) in
+  let copied = ref 0 in
+  for p = 0 to np - 1 do
+    if t.page_epoch.(p) > img.synced_at then begin
+      let off = p lsl page_bits in
+      let len = min page_words (words t - off) in
+      Array.blit img.img_data off t.data off len;
+      t.page_epoch.(p) <- t.epoch;
+      copied := !copied + len
+    end
+  done;
+  t.epoch <- t.epoch + 1;
+  !copied
 
 let take_front t n =
   (* Shrink the lowest free block; used by [reserve] so static data sits at
@@ -49,10 +125,16 @@ let alloc t n =
   fit [] t.free_list
 
 let insert_free t a n =
+  (* Coalesce with the left and right neighbors when adjacent, so the
+     free list stays compact under churn instead of fragmenting. *)
+  let merge_right (b, sz) = function
+    | (c, cz) :: rest when b + sz = c -> (b, sz + cz) :: rest
+    | rest -> (b, sz) :: rest
+  in
   let rec go = function
-    | [] -> [ (a, n) ]
-    | (b, sz) :: rest when a < b -> (a, n) :: (b, sz) :: rest
-    | blk :: rest -> blk :: go rest
+    | (b, sz) :: rest when b + sz < a -> (b, sz) :: go rest
+    | (b, sz) :: rest when b + sz = a -> merge_right (b, sz + n) rest
+    | rest -> merge_right (a, n) rest
   in
   t.free_list <- go t.free_list
 
@@ -68,11 +150,16 @@ let block_size t a = Hashtbl.find_opt t.allocated a
 let undo_alloc t a = free t a
 
 let undo_free t a ~size =
-  (* Remove the exact block from the free list and mark it allocated. *)
+  (* The freed block may have been coalesced into a larger free block;
+     carve [a, a+size) back out of whichever block contains it. *)
   let rec go = function
     | [] -> invalid_arg "Mem.undo_free: block not free"
-    | (b, sz) :: rest when b = a && sz = size -> rest
-    | (b, sz) :: rest when b = a && sz > size -> (b + size, sz - size) :: rest
+    | (b, sz) :: rest when b <= a && a + size <= b + sz ->
+      let right =
+        if a + size < b + sz then (a + size, b + sz - (a + size)) :: rest
+        else rest
+      in
+      if a > b then (b, a - b) :: right else right
     | blk :: rest -> blk :: go rest
   in
   t.free_list <- go t.free_list;
@@ -107,6 +194,9 @@ let snapshot t =
     static_brk = t.static_brk;
     free_list = t.free_list;
     allocated = Hashtbl.copy t.allocated;
+    epoch = t.epoch;
+    page_epoch = Array.copy t.page_epoch;
+    word_epoch = Array.copy t.word_epoch;
   }
 
 let restore t ~from =
@@ -116,4 +206,12 @@ let restore t ~from =
   t.static_brk <- from.static_brk;
   t.free_list <- from.free_list;
   Hashtbl.reset t.allocated;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.allocated k v) from.allocated
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.allocated k v) from.allocated;
+  (* Every page may now differ from any retained image: stamp them all
+     dirty at the current epoch, then advance it. *)
+  if Array.length t.page_epoch <> n_pages (Array.length from.data) then
+    t.page_epoch <- Array.make (n_pages (Array.length from.data)) 0;
+  if Array.length t.word_epoch <> Array.length from.data then
+    t.word_epoch <- Array.make (Array.length from.data) 0;
+  Array.fill t.page_epoch 0 (Array.length t.page_epoch) t.epoch;
+  t.epoch <- t.epoch + 1

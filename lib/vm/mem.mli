@@ -8,8 +8,11 @@
     The memory itself performs no undo tracking: executors capture old
     values through their tracked {!Env.t} write hooks. What memory does
     provide is the allocator's inverse operations ({!undo_alloc},
-    {!undo_free}) required for WAL-driven recovery, and deep
-    {!snapshot}/{!restore} used by the coordinated-CPR baseline. *)
+    {!undo_free}) required for WAL-driven recovery, plus two snapshot
+    mechanisms: page-granular dirty-tracked {!image}s ({!capture} /
+    {!restore_image}) used by the coordinated-CPR engine, and deep
+    {!snapshot}/{!restore} full copies used by tests and as the
+    reference the incremental path is checked against. *)
 
 type addr = int
 
@@ -45,7 +48,36 @@ val undo_alloc : t -> addr -> unit
 
 val undo_free : t -> addr -> size:int -> unit
 (** Inverse of {!free} for WAL recovery: re-registers the block as
-    allocated. *)
+    allocated, carving it back out even if {!free} coalesced it into a
+    larger free block. *)
+
+val touch : t -> addr -> bool
+(** First-touch test for checkpoint-interval write accounting: [true]
+    exactly once per word per dirty-tracking epoch (epochs advance at
+    {!capture}/{!restore_image}). Lets undo logs count unique dirtied
+    words without materializing per-word entries. *)
+
+type image
+(** A page-granular snapshot of the data words, dirty-tracked: after the
+    first (full) sync, re-syncing through {!capture} copies only pages
+    written since. Allocator metadata is not included — pair with
+    {!save_alloc}. *)
+
+val alloc_image : t -> image
+(** A fresh, never-synced image: the next {!capture} into it copies every
+    page (the full-copy fallback lives behind the same interface). *)
+
+val capture : t -> image -> int
+(** Sync [image] to the current memory contents and advance the dirty
+    epoch. Returns the number of words copied. Images may be reused
+    across checkpoints; a dropped snapshot's image can be recycled with
+    the dirty tracking doing the right thing. *)
+
+val restore_image : t -> image -> int
+(** Overwrite memory with the image's contents: copies back exactly the
+    pages written since the image was synced, re-stamps them dirty (so
+    other retained images stay coherent), and advances the epoch.
+    Returns the number of words copied. *)
 
 val live_blocks : t -> (addr * int) list
 (** Allocated blocks, sorted by address; used by tests and by CPR

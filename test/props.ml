@@ -140,6 +140,52 @@ let prop_alloc_free_roundtrip =
         (fun (a, s) -> Vm.Mem.block_size m a = Some s)
         !live)
 
+let prop_alloc_coalesce =
+  case "allocator: frees coalesce — whole arena reallocatable"
+    Gen.(pair (list_size (int_range 1 60) (int_range 1 32)) int)
+    (fun (sizes, shuffle_seed) ->
+      let m = Vm.Mem.create ~words:8192 in
+      let blocks = Array.of_list (List.map (fun s -> Vm.Mem.alloc m s) sizes) in
+      (* free in a pseudo-random order; adjacency merging must leave a
+         single free block regardless *)
+      Sim.Prng.shuffle (Sim.Prng.create shuffle_seed) blocks;
+      Array.iter (fun a -> Vm.Mem.free m a) blocks;
+      Vm.Mem.alloc m 8192 = 0)
+
+(* --- Incremental snapshots: image restore ≡ full-copy restore -------- *)
+
+let mem_writes_gen =
+  QCheck2.Gen.(list_size (int_range 0 120) (pair (int_range 0 511) (int_range 0 9999)))
+
+let prop_mem_image_equiv =
+  case "mem: restore(incremental image) ≡ restore(full copy)"
+    Gen.(triple mem_writes_gen mem_writes_gen mem_writes_gen)
+    (fun (w0, w1, w2) ->
+      let m = Vm.Mem.create ~words:512 in
+      let apply ws = List.iter (fun (a, v) -> Vm.Mem.write m a v) ws in
+      let contents () = Array.init 512 (Vm.Mem.read m) in
+      apply w0;
+      let img1 = Vm.Mem.alloc_image m in
+      ignore (Vm.Mem.capture m img1);
+      let full1 = contents () in
+      apply w1;
+      let img2 = Vm.Mem.alloc_image m in
+      ignore (Vm.Mem.capture m img2);
+      let full2 = contents () in
+      apply w2;
+      ignore (Vm.Mem.restore_image m img2);
+      let ok2 = contents () = full2 in
+      ignore (Vm.Mem.restore_image m img1);
+      let ok1 = contents () = full1 in
+      (* recycle img2 as a pool image: incremental re-capture, then
+         restore across fresh dirt *)
+      apply w2;
+      ignore (Vm.Mem.capture m img2);
+      let full3 = contents () in
+      apply w1;
+      ignore (Vm.Mem.restore_image m img2);
+      ok1 && ok2 && contents () = full3)
+
 (* --- Undo log: random writes restore exactly ------------------------ *)
 
 let prop_undo_restores =
@@ -159,6 +205,33 @@ let prop_undo_restores =
       ignore
         (Exec.Undo_log.replay ~mem:m ~atomics:[||] ~io:(Vm.Io.create ()) log);
       Array.for_all2 ( = ) initial (Array.init 256 (Vm.Mem.read m)))
+
+let prop_paged_undo_equiv =
+  case "undo log: paged variant counts and restores like the entry log"
+    Gen.(list_size (int_range 1 200) (pair (int_range 0 255) (int_range 0 1000)))
+    (fun writes ->
+      let m = Vm.Mem.create ~words:256 in
+      List.iteri (fun i (a, _) -> Vm.Mem.write m a (i * 7)) writes;
+      let img = Vm.Mem.alloc_image m in
+      ignore (Vm.Mem.capture m img);
+      let initial = Array.init 256 (Vm.Mem.read m) in
+      let paged = Exec.Undo_log.create ~paged:m () in
+      let plain = Exec.Undo_log.create () in
+      List.iter
+        (fun (a, v) ->
+          let old = Vm.Mem.read m a in
+          ignore (Exec.Undo_log.note paged (Exec.Undo_log.K_mem a) ~old);
+          ignore (Exec.Undo_log.note plain (Exec.Undo_log.K_mem a) ~old);
+          Vm.Mem.write m a v)
+        writes;
+      let same_size = Exec.Undo_log.size paged = Exec.Undo_log.size plain in
+      let replayed =
+        Exec.Undo_log.replay ~mem:m ~atomics:[||] ~io:(Vm.Io.create ()) paged
+      in
+      ignore (Vm.Mem.restore_image m img);
+      same_size
+      && replayed = Exec.Undo_log.size plain
+      && Array.for_all2 ( = ) initial (Array.init 256 (Vm.Mem.read m)))
 
 (* --- ROL ------------------------------------------------------------ *)
 
@@ -471,7 +544,10 @@ let suite =
     prop_deque_model;
     prop_alloc_no_overlap;
     prop_alloc_free_roundtrip;
+    prop_alloc_coalesce;
+    prop_mem_image_equiv;
     prop_undo_restores;
+    prop_paged_undo_equiv;
     prop_rol_head_is_min;
     prop_rol_retire_prefix;
     prop_order_grants_eligible;

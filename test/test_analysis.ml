@@ -138,6 +138,45 @@ let test_fig9_shape () =
     (fun (r : Analysis.Report.row) -> check "two bars" 2 (List.length r.Analysis.Report.bars))
     fig.Analysis.Report.rows
 
+let test_pool_map_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved with domains"
+    (List.map (fun x -> x * x) xs)
+    (Analysis.Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "sequential path agrees"
+    (List.map succ xs)
+    (Analysis.Pool.map ~jobs:1 succ xs);
+  Alcotest.(check (list int)) "more jobs than items" [ 2 ]
+    (Analysis.Pool.map ~jobs:8 (fun x -> x + 1) [ 1 ]);
+  Alcotest.(check (list int)) "empty input" [] (Analysis.Pool.map ~jobs:4 succ [])
+
+let test_pool_first_error_wins () =
+  Alcotest.check_raises "earliest item's exception re-raised"
+    (Failure "boom3") (fun () ->
+      ignore
+        (Analysis.Pool.map ~jobs:3
+           (fun x -> if x >= 3 then failwith (Printf.sprintf "boom%d" x) else x)
+           [ 0; 1; 2; 3; 4; 5 ]))
+
+let strip_figure (f : Analysis.Report.figure) =
+  List.map
+    (fun (r : Analysis.Report.row) ->
+      ( r.Analysis.Report.row_name,
+        List.map
+          (fun (b : Analysis.Report.bar) ->
+            (b.Analysis.Report.label, b.Analysis.Report.value, b.Analysis.Report.dnc))
+          r.Analysis.Report.bars ))
+    f.Analysis.Report.rows
+
+let test_parallel_rows_identical () =
+  (* Same seed, any [jobs]: drivers must produce bit-identical rows. *)
+  let seq = Analysis.Experiments.fig9 { tiny_cfg with Analysis.Experiments.jobs = 1 } in
+  let par = Analysis.Experiments.fig9 { tiny_cfg with Analysis.Experiments.jobs = 2 } in
+  checkb "fig9 rows identical for jobs=1 and jobs=2" true
+    (strip_figure seq = strip_figure par)
+
 let test_cost_ablations_ordered () =
   (* With more cost components charged, execution can only get slower. *)
   let spec = Workloads.Suite.find "re" in
@@ -164,7 +203,10 @@ let suite =
     Alcotest.test_case "hm row skips dnc" `Quick test_hm_row_skips_dnc;
     Alcotest.test_case "render table" `Quick test_render_table;
     Alcotest.test_case "render bar chart" `Quick test_bar_chart_renders;
+    Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool first error wins" `Quick test_pool_first_error_wins;
     Alcotest.test_case "table2 shape" `Slow test_table2_shape;
+    Alcotest.test_case "parallel rows identical" `Slow test_parallel_rows_identical;
     Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
     Alcotest.test_case "cost ablations ordered" `Slow test_cost_ablations_ordered;
   ]

@@ -1,4 +1,5 @@
-(* Unit tests for the ordering schedules (the token policies). *)
+(* Unit tests for the ordering structures: the token policies and the
+   reorder list's retirement edge cases. *)
 
 let check = Alcotest.(check int)
 let check_opt = Alcotest.(check (option int))
@@ -108,6 +109,80 @@ let test_late_join_enters_rotation () =
   Alcotest.(check (list int)) "new thread joins" [ 1; 0; 1 ]
     (List.init 3 (fun _ -> grant t))
 
+(* --- ROL retirement edges ------------------------------------------- *)
+
+let dummy_saved =
+  Vm.Tcb.copy_state
+    (Vm.Tcb.create ~n_barriers:0 ~tid:0 ~group:0
+       ~proc:{ Vm.Isa.pname = "p"; code = [| Vm.Isa.Exit |] }
+       ~args:[||])
+
+let mk_sub id = Gprs.Subthread.make ~id ~tid:0 ~now:0 ~saved:dummy_saved
+
+let ids subs = List.map (fun s -> s.Gprs.Subthread.id) subs
+
+let test_rol_squashed_head_blocks () =
+  let rol = Gprs.Rol.create () in
+  let subs = List.init 3 mk_sub in
+  List.iter (Gprs.Rol.insert rol) subs;
+  List.iteri
+    (fun i s ->
+      s.Gprs.Subthread.status <-
+        (if i = 0 then Gprs.Subthread.Squashed else Gprs.Subthread.Complete 10))
+    subs;
+  Alcotest.(check (list int))
+    "squashed head retires nothing" []
+    (ids (Gprs.Rol.retire_ready rol ~now:10_000 ~latency:10));
+  Gprs.Rol.remove rol 0;
+  Alcotest.(check (list int))
+    "suffix retires once the head is gone" [ 1; 2 ]
+    (ids (Gprs.Rol.retire_ready rol ~now:10_000 ~latency:10))
+
+let test_rol_latency_boundary () =
+  let rol = Gprs.Rol.create () in
+  let s = mk_sub 0 in
+  Gprs.Rol.insert rol s;
+  s.Gprs.Subthread.status <- Gprs.Subthread.Complete 100;
+  Alcotest.(check (list int))
+    "one cycle early: still in the detection window" []
+    (ids (Gprs.Rol.retire_ready rol ~now:149 ~latency:50));
+  Alcotest.(check (list int))
+    "exactly latency cycles after completion: retires" [ 0 ]
+    (ids (Gprs.Rol.retire_ready rol ~now:150 ~latency:50))
+
+let test_rol_hw_across_squash () =
+  let rol = Gprs.Rol.create () in
+  List.iter (fun id -> Gprs.Rol.insert rol (mk_sub id)) [ 0; 1; 2; 3; 4 ];
+  check "hw after first wave" 5 (Gprs.Rol.max_size rol);
+  (* Squash-removal shrinks the live set but not the high water. *)
+  List.iter (Gprs.Rol.remove rol) [ 0; 1; 2; 3 ];
+  check "live after squash" 1 (Gprs.Rol.size rol);
+  check "hw survives squash" 5 (Gprs.Rol.max_size rol);
+  (* Re-inserted work uses fresh (monotonic) ids and pushes hw further. *)
+  List.iter (fun id -> Gprs.Rol.insert rol (mk_sub id)) [ 5; 6; 7; 8; 9; 10 ];
+  check "live" 7 (Gprs.Rol.size rol);
+  check "hw high water" 7 (Gprs.Rol.max_size rol);
+  check_opt "head skips squashed slots" (Some 4) (Gprs.Rol.min_live_id rol)
+
+let test_rol_ring_growth () =
+  let rol = Gprs.Rol.create () in
+  (* Push the live span well past the initial capacity. *)
+  for id = 0 to 599 do
+    Gprs.Rol.insert rol (mk_sub id)
+  done;
+  for id = 0 to 599 do
+    if id mod 2 = 0 then Gprs.Rol.remove rol id
+  done;
+  check "live" 300 (Gprs.Rol.size rol);
+  check_opt "head" (Some 1) (Gprs.Rol.min_live_id rol);
+  Alcotest.(check bool) "find across growth" true (Gprs.Rol.find rol 599 <> None);
+  Alcotest.(check (list int))
+    "suffix walk" [ 597; 599 ]
+    (ids (Gprs.Rol.younger_than rol 595));
+  Alcotest.check_raises "below retired horizon"
+    (Invalid_argument "Rol.insert: id below retired horizon") (fun () ->
+      Gprs.Rol.insert rol (mk_sub 0))
+
 let suite =
   [
     Alcotest.test_case "round-robin rotation" `Quick test_round_robin_rotation;
@@ -121,4 +196,8 @@ let suite =
     Alcotest.test_case "weighted clamps zero" `Quick test_weighted_min_weight_one;
     Alcotest.test_case "holder is pure" `Quick test_holder_is_pure;
     Alcotest.test_case "late join" `Quick test_late_join_enters_rotation;
+    Alcotest.test_case "rol: squashed head blocks retirement" `Quick test_rol_squashed_head_blocks;
+    Alcotest.test_case "rol: detection-latency boundary" `Quick test_rol_latency_boundary;
+    Alcotest.test_case "rol: high water across squash" `Quick test_rol_hw_across_squash;
+    Alcotest.test_case "rol: ring growth" `Quick test_rol_ring_growth;
   ]

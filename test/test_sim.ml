@@ -134,6 +134,82 @@ let test_evq_many_random () =
   in
   drain ()
 
+let test_evq_compaction_reclaims () =
+  (* Mass cancellation must not leave the heap full of dead cells. *)
+  let q = Sim.Event_queue.create () in
+  let handles = Array.init 4096 (fun i -> Sim.Event_queue.schedule q ~time:i i) in
+  for i = 0 to 4095 do
+    if i mod 64 <> 0 then Sim.Event_queue.cancel q handles.(i)
+  done;
+  check "live count" 64 (Sim.Event_queue.length q);
+  checkb "heap compacted" true (Sim.Event_queue.heap_size q < 256);
+  let rec drain acc =
+    match Sim.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int))
+    "survivors pop in order"
+    (List.init 64 (fun k -> k * 64))
+    (drain [])
+
+let test_evq_live_size_invariant () =
+  (* Random schedule/cancel/pop/peek interleavings: the model of live
+     events always matches [length], [length <= heap_size], pops only
+     yield uncancelled events in time order, and peek agrees with the
+     model's minimum. *)
+  let g = Sim.Prng.create 17 in
+  let q = Sim.Event_queue.create () in
+  let pending = ref [] in
+  (* (handle, id, time) *)
+  let next_id = ref 0 in
+  let last_time = ref (-1) in
+  for _ = 1 to 5000 do
+    let r = Sim.Prng.int g 100 in
+    (if r < 55 then begin
+       let t = Sim.Event_queue.now q + Sim.Prng.int g 50 in
+       let id = !next_id in
+       incr next_id;
+       let h = Sim.Event_queue.schedule q ~time:t id in
+       pending := !pending @ [ (h, id, t) ]
+     end
+     else if r < 85 then begin
+       match !pending with
+       | [] -> ()
+       | l ->
+         let i = Sim.Prng.int g (List.length l) in
+         let h, _, _ = List.nth l i in
+         Sim.Event_queue.cancel q h;
+         pending := List.filteri (fun j _ -> j <> i) l
+     end
+     else if r < 95 then begin
+       match Sim.Event_queue.pop q with
+       | None -> check "pop empty iff model empty" 0 (List.length !pending)
+       | Some (t, id) ->
+         checkb "pop was pending" true
+           (List.exists (fun (_, id', _) -> id' = id) !pending);
+         checkb "times non-decreasing" true (t >= !last_time);
+         last_time := t;
+         let mn =
+           List.fold_left (fun acc (_, _, t') -> min acc t') max_int !pending
+         in
+         check "pop yields earliest" mn t;
+         pending := List.filter (fun (_, id', _) -> id' <> id) !pending
+     end
+     else begin
+       let expect =
+         match !pending with
+         | [] -> None
+         | l -> Some (List.fold_left (fun acc (_, _, t) -> min acc t) max_int l)
+       in
+       Alcotest.(check (option int)) "peek agrees with model" expect
+         (Sim.Event_queue.peek_time q)
+     end);
+    check "length tracks model" (List.length !pending) (Sim.Event_queue.length q);
+    checkb "live <= heap cells" true
+      (Sim.Event_queue.length q <= Sim.Event_queue.heap_size q)
+  done
+
 let test_stats_counters () =
   let s = Sim.Stats.create () in
   Sim.Stats.incr s "a";
@@ -206,6 +282,8 @@ let suite =
     Alcotest.test_case "evq clock" `Quick test_evq_clock_advances;
     Alcotest.test_case "evq peek" `Quick test_evq_peek;
     Alcotest.test_case "evq random load" `Quick test_evq_many_random;
+    Alcotest.test_case "evq compaction reclaims" `Quick test_evq_compaction_reclaims;
+    Alcotest.test_case "evq live/size invariant" `Quick test_evq_live_size_invariant;
     Alcotest.test_case "stats counters" `Quick test_stats_counters;
     Alcotest.test_case "stats max/mean" `Quick test_stats_max_and_mean;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;

@@ -61,6 +61,61 @@ let test_mem_snapshot_restore () =
   Alcotest.(check (option int)) "alloc state restored" (Some 4)
     (Vm.Mem.block_size m a)
 
+let test_mem_free_coalesces () =
+  let m = Vm.Mem.create ~words:128 in
+  let blocks = List.init 16 (fun _ -> Vm.Mem.alloc m 8) in
+  List.iter (Vm.Mem.free m) blocks;
+  (* Adjacent frees merge back into one block covering the arena. *)
+  check "whole arena allocatable again" 0 (Vm.Mem.alloc m 128)
+
+let test_mem_coalesced_reuse () =
+  let m = Vm.Mem.create ~words:128 in
+  let a = Vm.Mem.alloc m 16 in
+  let b = Vm.Mem.alloc m 16 in
+  let c = Vm.Mem.alloc m 16 in
+  Vm.Mem.free m a;
+  Vm.Mem.free m b;
+  check "merged block serves a larger alloc" a (Vm.Mem.alloc m 32);
+  Vm.Mem.free m c
+
+let test_mem_undo_free_coalesced () =
+  let m = Vm.Mem.create ~words:128 in
+  let a = Vm.Mem.alloc m 8 in
+  let b = Vm.Mem.alloc m 8 in
+  Vm.Mem.free m a;
+  Vm.Mem.free m b;
+  (* b's words are now inside a coalesced free block; undo_free must
+     carve exactly b back out of it. *)
+  Vm.Mem.undo_free m b ~size:8;
+  Alcotest.(check (option int)) "b re-registered" (Some 8) (Vm.Mem.block_size m b);
+  check "a still free" a (Vm.Mem.alloc m 8)
+
+let test_mem_image_roundtrip () =
+  let m = Vm.Mem.create ~words:256 in
+  Vm.Mem.write m 5 1;
+  Vm.Mem.write m 200 2;
+  let img = Vm.Mem.alloc_image m in
+  check "first capture copies every word" 256 (Vm.Mem.capture m img);
+  Vm.Mem.write m 5 99;
+  Vm.Mem.write m 64 7;
+  let n = Vm.Mem.restore_image m img in
+  checkb "restore copies only the dirty pages" true (n > 0 && n <= 128);
+  check "overwritten word restored" 1 (Vm.Mem.read m 5);
+  check "clean word intact" 2 (Vm.Mem.read m 200);
+  check "dirty-page neighbor restored" 0 (Vm.Mem.read m 64);
+  (* Re-capture after restore: only the re-stamped pages are copied. *)
+  Vm.Mem.write m 0 3;
+  check "incremental capture" 128 (Vm.Mem.capture m img)
+
+let test_mem_touch_epochs () =
+  let m = Vm.Mem.create ~words:64 in
+  let img = Vm.Mem.alloc_image m in
+  ignore (Vm.Mem.capture m img);
+  checkb "first touch in epoch" true (Vm.Mem.touch m 3);
+  checkb "second touch is absorbed" false (Vm.Mem.touch m 3);
+  ignore (Vm.Mem.capture m img);
+  checkb "capture opens a new epoch" true (Vm.Mem.touch m 3)
+
 let test_io_basics () =
   let io = Vm.Io.create () in
   let f = Vm.Io.add_file io ~name:"in" [| 1; 2; 3 |] in
@@ -155,6 +210,11 @@ let suite =
     Alcotest.test_case "mem oom" `Quick test_mem_oom;
     Alcotest.test_case "mem undo alloc/free" `Quick test_mem_undo_alloc_free;
     Alcotest.test_case "mem snapshot/restore" `Quick test_mem_snapshot_restore;
+    Alcotest.test_case "mem free coalesces" `Quick test_mem_free_coalesces;
+    Alcotest.test_case "mem coalesced reuse" `Quick test_mem_coalesced_reuse;
+    Alcotest.test_case "mem undo_free from coalesced block" `Quick test_mem_undo_free_coalesced;
+    Alcotest.test_case "mem image roundtrip" `Quick test_mem_image_roundtrip;
+    Alcotest.test_case "mem touch epochs" `Quick test_mem_touch_epochs;
     Alcotest.test_case "io basics" `Quick test_io_basics;
     Alcotest.test_case "io write grows" `Quick test_io_write_grows;
     Alcotest.test_case "io truncate" `Quick test_io_truncate;
