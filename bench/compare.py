@@ -5,11 +5,16 @@ Usage: python3 bench/compare.py BASELINE.json NEW.json [--factor F]
 
 Experiments are matched on (name, contexts, scale) and micro-benchmarks
 on name, so quick and full runs never gate each other. A measurement
-more than F x its baseline (default 3.0 — generous, CI machines are
-noisy) fails the run (exit 1); anything between 1x and F x is printed
-as a warning. Keys present on only one side are reported but never
-fail: new benchmarks land without a baseline, retired ones linger in
-the baseline until it is regenerated.
+fails the run (exit 1) only when it exceeds BOTH gates: more than
+F x its baseline (default 1.5 — fused dispatch bought enough headroom
+to gate the ratio tightly) AND more than an absolute slack above it
+(default 0.25 s for experiment wall-clock, 500 ns for micro ns/run).
+The absolute slack exists because fused dispatch shrank the quick
+experiments to tens of milliseconds, where a 1.5x ratio alone is
+scheduler noise, not a regression. Anything between 1x and the gates
+is printed as a warning. Keys present on only one side are reported
+but never fail: new benchmarks land without a baseline, retired ones
+linger in the baseline until it is regenerated.
 """
 
 import argparse
@@ -31,7 +36,7 @@ def index(run):
     return exps, micro
 
 
-def compare(kind, base, new, factor):
+def compare(kind, base, new, factor, abs_slack):
     failures = []
     for key in sorted(set(base) | set(new), key=str):
         label = f"{kind} {key}"
@@ -42,7 +47,7 @@ def compare(kind, base, new, factor):
         else:
             b, n = base[key], new[key]
             ratio = n / b if b > 0 else float("inf")
-            if ratio > factor:
+            if ratio > factor and n - b > abs_slack:
                 print(f"  FAIL  {label}: {n:.6g} vs {b:.6g} ({ratio:.2f}x > {factor}x)")
                 failures.append(label)
             elif ratio > 1.0:
@@ -56,8 +61,14 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("new")
-    ap.add_argument("--factor", type=float, default=3.0,
-                    help="fail when new > factor x baseline (default 3.0)")
+    ap.add_argument("--factor", type=float, default=1.5,
+                    help="fail when new > factor x baseline (default 1.5)")
+    ap.add_argument("--abs-slack-s", type=float, default=0.25,
+                    help="experiment wall-clock must also regress by more "
+                         "than this many seconds to fail (default 0.25)")
+    ap.add_argument("--abs-slack-ns", type=float, default=500.0,
+                    help="micro ns/run must also regress by more than this "
+                         "many ns to fail (default 500)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
@@ -65,8 +76,10 @@ def main():
     new_exps, new_micro = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
-    failures = compare("experiment", base_exps, new_exps, args.factor)
-    failures += compare("micro", base_micro, new_micro, args.factor)
+    failures = compare("experiment", base_exps, new_exps, args.factor,
+                       args.abs_slack_s)
+    failures += compare("micro", base_micro, new_micro, args.factor,
+                        args.abs_slack_ns)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

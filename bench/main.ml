@@ -31,6 +31,7 @@ type exp_entry = {
 }
 
 type micro_entry = { m_name : string; m_ns_per_run : float }
+type prof_entry = { p_engine : string; p_key : string; p_value : float }
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's rows/series at bench scale                      *)
@@ -91,6 +92,72 @@ let print_experiments ~jobs ~quick =
        (Analysis.Experiments.fig11 ~contexts:fig11_contexts));
   Format.fprintf ppf "@.";
   List.rev !entries
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch-mix profile (--profile)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prefixed ~prefix k =
+  String.length k >= String.length prefix
+  && String.sub k 0 (String.length prefix) = prefix
+
+(* One representative workload per engine with {!Vm.Block} profiling on:
+   per-instruction-kind dispatch counts plus the fused-hop-length
+   histogram. Not timed — profiling counters perturb the dispatch loop. *)
+let profile_mix ~quick =
+  let n_contexts = 8 in
+  let scale = if quick then 0.05 else 0.1 in
+  let spec = Workloads.Suite.find "wordcount" in
+  let build () =
+    spec.Workloads.Workload.build ~n_contexts
+      ~grain:Workloads.Workload.Default ~scale
+  in
+  Vm.Block.set_profiling true;
+  let runs =
+    [
+      ( "pthreads",
+        Exec.Baseline.run
+          { Exec.Baseline.default_config with n_contexts }
+          (build ()) );
+      ( "cpr",
+        Cpr.run
+          { Cpr.default_config with n_contexts; checkpoint_interval = 0.005 }
+          (build ()) );
+      ("gprs", Gprs.Engine.run { Gprs.Engine.default_config with n_contexts } (build ()));
+    ]
+  in
+  Vm.Block.set_profiling false;
+  Format.fprintf ppf
+    "=== Dispatch mix (wordcount, %d contexts, scale %.2f) ===@.@." n_contexts
+    scale;
+  List.concat_map
+    (fun (engine, (r : Exec.State.run_result)) ->
+      let assoc = Sim.Stats.to_assoc r.Exec.State.run_stats in
+      let entries =
+        List.filter
+          (fun (k, _) -> prefixed ~prefix:"dispatch." k || prefixed ~prefix:"fuse." k)
+          assoc
+      in
+      let dispatch = List.filter (fun (k, _) -> prefixed ~prefix:"dispatch." k) entries in
+      let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 dispatch in
+      let hops = try List.assoc "fuse.hops" entries with Not_found -> 0.0 in
+      let instrs = float_of_int (Sim.Stats.get r.Exec.State.run_stats "instrs") in
+      Format.fprintf ppf "%s (%.0f dispatches, %.0f hops, %.2f instrs/hop):@."
+        engine total hops
+        (if hops > 0.0 then instrs /. hops else 0.0);
+      List.iter
+        (fun (k, v) ->
+          Format.fprintf ppf "  %-24s %12.0f  %5.1f%%@." k v
+            (if total > 0.0 then 100.0 *. v /. total else 0.0))
+        (List.sort (fun (_, a) (_, b) -> compare b a) dispatch);
+      List.iter
+        (fun (k, v) ->
+          if prefixed ~prefix:"fuse.len." k then
+            Format.fprintf ppf "  %-24s %12.0f@." k v)
+        entries;
+      Format.fprintf ppf "@.";
+      List.map (fun (k, v) -> { p_engine = engine; p_key = k; p_value = v }) entries)
+    runs
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure             *)
@@ -218,7 +285,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path ~quick ~jobs ~experiments ~micro =
+let write_json path ~quick ~jobs ~experiments ~micro ~profile =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -240,6 +307,14 @@ let write_json path ~quick ~jobs ~experiments ~micro =
         m.m_ns_per_run
         (if i = List.length micro - 1 then "" else ","))
     micro;
+  p "  ],\n";
+  p "  \"profile\": [\n";
+  List.iteri
+    (fun i e ->
+      p "    {\"engine\": \"%s\", \"key\": \"%s\", \"value\": %.1f}%s\n"
+        (json_escape e.p_engine) (json_escape e.p_key) e.p_value
+        (if i = List.length profile - 1 then "" else ","))
+    profile;
   p "  ]\n";
   p "}\n";
   close_out oc;
@@ -249,14 +324,15 @@ let write_json path ~quick ~jobs ~experiments ~micro =
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let main json jobs quick =
+let main json jobs quick profile =
   let jobs =
     if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
   in
   let experiments = print_experiments ~jobs ~quick in
+  let prof = if profile then profile_mix ~quick else [] in
   let micro = run_micro ~quick in
   match json with
-  | Some path -> write_json path ~quick ~jobs ~experiments ~micro
+  | Some path -> write_json path ~quick ~jobs ~experiments ~micro ~profile:prof
   | None -> ()
 
 open Cmdliner
@@ -279,8 +355,16 @@ let quick =
   in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let profile =
+  let doc =
+    "Also run the dispatch-mix profiler: per-instruction-kind dispatch \
+     counts and the fused-hop-length histogram, per engine (included in \
+     the $(b,--json) output's \"profile\" section)."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let cmd =
   let doc = "GPRS benchmark harness (paper evaluation + micro-benchmarks)" in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const main $ json $ jobs $ quick)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const main $ json $ jobs $ quick $ profile)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -32,8 +32,35 @@ let cli_lint ~strict_lint ~no_lint program =
     if strict_lint && Lint.Check.has_errors diags then `Refuse else `Run
   end
 
+(* Dispatch-mix report (--profile): per-instruction-kind dispatch counts
+   and, when fusion is on, the fused-hop-length histogram. *)
+let print_profile (r : Exec.State.run_result) =
+  let prefixed ~prefix k =
+    String.length k >= String.length prefix
+    && String.sub k 0 (String.length prefix) = prefix
+  in
+  let assoc = Sim.Stats.to_assoc r.Exec.State.run_stats in
+  let dispatch = List.filter (fun (k, _) -> prefixed ~prefix:"dispatch." k) assoc in
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 dispatch in
+  let hops = try List.assoc "fuse.hops" assoc with Not_found -> 0.0 in
+  let instrs = float_of_int (Sim.Stats.get r.Exec.State.run_stats "instrs") in
+  Format.printf "dispatch mix (%.0f dispatches, %.0f event-queue hops, %.2f instrs/hop):@."
+    total hops
+    (if hops > 0.0 then instrs /. hops else 0.0);
+  List.iter
+    (fun (k, v) ->
+      Format.printf "  %-24s %12.0f  %5.1f%%@." k v
+        (if total > 0.0 then 100.0 *. v /. total else 0.0))
+    (List.sort (fun (_, a) (_, b) -> compare b a) dispatch);
+  List.iter
+    (fun (k, v) ->
+      if prefixed ~prefix:"fuse.len." k then
+        Format.printf "  %-24s %12.0f@." k v)
+    assoc
+
 let run workload engine contexts scale seed rate grain ordering interval
-    show_stats strict_lint no_lint =
+    show_stats profile strict_lint no_lint =
+  if profile then Vm.Block.set_profiling true;
   let spec, program = build_workload workload contexts scale grain in
   match cli_lint ~strict_lint ~no_lint program with
   | `Refuse ->
@@ -87,7 +114,8 @@ let run workload engine contexts scale seed rate grain ordering interval
     Format.printf "sim time   : %d cycles = %.4f s@." result.Exec.State.sim_cycles
       result.Exec.State.sim_seconds;
     Format.printf "digest     : %s@." (spec.Workloads.Workload.digest result);
-    if show_stats then Format.printf "%a@." Sim.Stats.pp result.Exec.State.run_stats
+    if show_stats then Format.printf "%a@." Sim.Stats.pp result.Exec.State.run_stats;
+    if profile then print_profile result
 
 (* --- lint subcommand -------------------------------------------------- *)
 
@@ -147,6 +175,14 @@ let interval =
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics.")
 
+let profile_flag =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:
+             "Profile the dispatch mix: per-instruction-kind dispatch counts \
+              and the fused-hop-length histogram (set $(b,GPRS_NO_FUSE=1) to \
+              compare against unfused dispatch).")
+
 let strict_lint =
   Arg.(value & flag
        & info [ "strict-lint" ]
@@ -161,7 +197,7 @@ let no_lint =
 let run_term =
   Term.(
     const run $ workload $ engine $ contexts $ scale $ seed $ rate $ grain
-    $ ordering $ interval $ stats $ strict_lint $ no_lint)
+    $ ordering $ interval $ stats $ profile_flag $ strict_lint $ no_lint)
 
 let run_cmd =
   let doc = "run one workload under pthreads / CPR / GPRS" in

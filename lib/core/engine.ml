@@ -60,9 +60,28 @@ type eng = {
   mutable squashed_since_retire : int;
   mutable injector : Faults.Injector.t;
   mutable grant_guard : int;  (* re-entrancy depth of try_grant *)
+  (* Scheduled times of pending Fault_occur / Fault_report events, sorted
+     ascending: the fused-dispatch horizon. A chain must not execute a
+     boundary at or past the head — at that instant the fault event
+     outranks the tick and may squash or stall this very thread. *)
+  mutable fault_times : int list;
+  budget : int;  (* max_cycles, or max_int *)
+  instrs : int ref;  (* cached "instrs" counter *)
 }
 
 let now eng = Exec.State.now eng.st
+
+let add_fault_time eng t = eng.fault_times <- List.sort compare (t :: eng.fault_times)
+
+let remove_fault_time eng t =
+  let rec rm = function
+    | [] -> []
+    | x :: r -> if x = t then r else x :: rm r
+  in
+  eng.fault_times <- rm eng.fault_times
+
+let fault_horizon eng =
+  match eng.fault_times with [] -> max_int | t :: _ -> t
 
 (* ------------------------------------------------------------------ *)
 (* Sub-thread bookkeeping                                              *)
@@ -140,7 +159,9 @@ let schedule_tick eng ctx ~after =
   let t = now eng + Stdlib.max Exec.Sem.min_cost after in
   eng.busy_until.(ctx) <- t;
   eng.tick_handle.(ctx) <-
-    Some (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time:t (Tick ctx))
+    Some
+      (Sim.Event_queue.schedule eng.st.Exec.State.evq ~prio:(1 + ctx) ~time:t
+         (Tick ctx))
 
 let schedule_retire_check eng ~at =
   ignore
@@ -332,6 +353,7 @@ let rec try_grant eng =
 and dispatch eng ctx (tcb : Vm.Tcb.t) =
   let st = eng.st in
   let tid = tcb.Vm.Tcb.tid in
+  let t0 = now eng in
   (match cur_sub_opt eng tid with
   | Some sub -> st.Exec.State.current_undo <- Some sub.Subthread.undo
   | None -> st.Exec.State.current_undo <- None);
@@ -364,7 +386,9 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
     | Some i -> i
   in
   let instr = fetch () in
-  Sim.Stats.incr st.Exec.State.stats "instrs";
+  incr eng.instrs;
+  Vm.Block.profile_ctrl st.Exec.State.stats !ctrl;
+  Vm.Block.profile_instr st.Exec.State.stats instr;
   (* A restarted thread may resume without a current sub-thread; create
      one lazily so its writes stay squashable. *)
   let ensure_sub () =
@@ -556,7 +580,39 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
       | Vm.Isa.Goto _ | Vm.Isa.If _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
         assert false
     in
-    schedule_tick eng ctx ~after:(!ctrl + d + take_delay eng tid)
+    let first = !ctrl + d + take_delay eng tid in
+    if
+      Vm.Block.fusing () && tcb.Vm.Tcb.wait = Vm.Tcb.Runnable
+      && (not eng.recovering)
+      && Rol.size eng.rol < 4096
+    then begin
+      (* Non-preemptive pool: the only events that can deopt a running
+         thread are fault occurrences/reports, so the horizon is the
+         earliest pending one (it cannot move up mid-chain — it only
+         changes at event pops). No pending delay can accrue mid-chain:
+         delays are added at token grants and fills, neither of which
+         targets a thread that is running on a context. *)
+      let horizon = fault_horizon eng in
+      let keep_going s = s <= eng.budget && s < horizon in
+      let sub = cur_sub_opt eng tid in
+      let on_fused (pr : Vm.Block.probe) i =
+        match sub with
+        | None -> ()
+        | Some sub ->
+          if pr.Vm.Block.p_entered_cpr then sub.Subthread.cpr_region <- true;
+          (match i with
+          | Vm.Isa.Opaque _ ->
+            sub.Subthread.global_dep <- not tcb.Vm.Tcb.in_cpr_region;
+            Sim.Stats.incr st.Exec.State.stats "gprs.opaque_calls"
+          | _ -> ())
+      in
+      let vend =
+        Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going ~on_fused
+          ~vstart:(t0 + Stdlib.max Exec.Sem.min_cost first)
+      in
+      schedule_tick eng ctx ~after:(vend - t0)
+    end
+    else schedule_tick eng ctx ~after:first
   end
 
 and fill eng ctx =
@@ -781,12 +837,12 @@ let recover eng (victim : Subthread.t) =
         mu.Exec.State.holder <- None
       | Some _ | None -> ());
       mu.Exec.State.mwaiters <-
-        List.filter (fun w -> not (squashed_or_destroyed w)) mu.Exec.State.mwaiters)
+        Exec.Fifo.filter (fun w -> not (squashed_or_destroyed w)) mu.Exec.State.mwaiters)
     st.Exec.State.mutexes;
   Array.iter
     (fun (c : Exec.State.cond) ->
       c.Exec.State.sleepers <-
-        List.filter (fun w -> not (squashed_or_destroyed w)) c.Exec.State.sleepers)
+        Exec.Fifo.filter (fun w -> not (squashed_or_destroyed w)) c.Exec.State.sleepers)
     st.Exec.State.conds;
   Array.iter
     (fun (b : Exec.State.barrier) ->
@@ -822,7 +878,7 @@ let recover eng (victim : Subthread.t) =
             | Some h when h = tid -> ()
             | Some _ ->
               Sim.Stats.incr st.Exec.State.stats "gprs.regrant_waits";
-              mu.Exec.State.mwaiters <- tid :: mu.Exec.State.mwaiters;
+              mu.Exec.State.mwaiters <- Exec.Fifo.push_front mu.Exec.State.mwaiters tid;
               tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m)
           o.Subthread.held_locks;
         (* A wake-sub checkpoint taken while queued for the mutex re-joins
@@ -835,7 +891,7 @@ let recover eng (victim : Subthread.t) =
           | None -> mu.Exec.State.holder <- Some tid
           | Some h when h = tid -> ()
           | Some _ ->
-            mu.Exec.State.mwaiters <- mu.Exec.State.mwaiters @ [ tid ];
+            mu.Exec.State.mwaiters <- Exec.Fifo.push mu.Exec.State.mwaiters tid;
             tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m));
         (* Joiners registered by surviving threads must outlive the reset:
            clearing them would lose their wakeup when this thread
@@ -861,8 +917,8 @@ let recover eng (victim : Subthread.t) =
      still holds threads reset by an earlier one — hand it to the head. *)
   Array.iter
     (fun (mu : Exec.State.mutex) ->
-      match (mu.Exec.State.holder, mu.Exec.State.mwaiters) with
-      | None, w :: rest ->
+      match (mu.Exec.State.holder, Exec.Fifo.pop mu.Exec.State.mwaiters) with
+      | None, Some (w, rest) ->
         mu.Exec.State.holder <- Some w;
         mu.Exec.State.mwaiters <- rest;
         let wt = Exec.State.thread st w in
@@ -901,7 +957,9 @@ let recovery_done eng =
       let t = Stdlib.max busy_until (now eng + 1) in
       eng.busy_until.(ctx) <- t;
       eng.tick_handle.(ctx) <-
-        Some (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time:t (Tick ctx)))
+        Some
+          (Sim.Event_queue.schedule eng.st.Exec.State.evq ~prio:(1 + ctx)
+             ~time:t (Tick ctx)))
     eng.interrupted;
   eng.interrupted <- [];
   try_grant eng
@@ -944,6 +1002,7 @@ let schedule_next_fault eng =
   | None -> ()
   | Some ev ->
     let time = Stdlib.max ev.Faults.Injector.occurred_at (now eng) in
+    add_fault_time eng time;
     ignore
       (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time
          (Fault_occur { ctx = ev.Faults.Injector.ctx; kind = ev.Faults.Injector.kind }))
@@ -957,6 +1016,7 @@ let fault_occur eng ctx kind =
       | None -> V_runtime)
     | None -> V_runtime
   in
+  add_fault_time eng (now eng + eng.cfg.costs.Vm.Costs.detection_latency);
   ignore
     (Sim.Event_queue.schedule eng.st.Exec.State.evq
        ~time:(now eng + eng.cfg.costs.Vm.Costs.detection_latency)
@@ -1066,14 +1126,19 @@ let run ?(lint = `Warn) cfg program =
         Faults.Injector.create cfg.injector ~n_contexts:cfg.n_contexts
           ~cycles_per_second:cfg.costs.Vm.Costs.cycles_per_second;
       grant_guard = 0;
+      fault_times = [];
+      budget = Option.value ~default:max_int cfg.max_cycles;
+      instrs = Sim.Stats.counter st.Exec.State.stats "instrs";
     }
   in
   let main = Exec.State.thread st Exec.State.main_tid in
   Order.add_thread eng.order ~tid:Exec.State.main_tid ~group:main.Vm.Tcb.group;
   ignore (new_sub eng main);
   make_runnable eng ~ctx_hint:0 Exec.State.main_tid;
-  fill_all eng;
+  (* Fault horizon armed before the first dispatch so fused chains never
+     cross the first occurrence. *)
   schedule_next_fault eng;
+  fill_all eng;
   let rec loop () =
     if eng.squashed_since_retire > cfg.livelock_squashes then finalize eng ~dnc:true
     else if finished eng then finalize eng ~dnc:false
@@ -1107,8 +1172,11 @@ let run ?(lint = `Warn) cfg program =
                 eng.ctx_of.(ctx) <- None;
                 fill eng ctx))
           | Retire_check -> retire eng
-          | Fault_occur { ctx; kind } -> fault_occur eng ctx kind
+          | Fault_occur { ctx; kind } ->
+            remove_fault_time eng time;
+            fault_occur eng ctx kind
           | Fault_report { victim; ctx; kind } ->
+            remove_fault_time eng time;
             if
               eng.cfg.revoke_contexts
               && kind = Faults.Injector.Resource_revocation

@@ -53,8 +53,9 @@ type snapshot = {
       (** CPR rolls everything back, including completed barrier
           episodes — unlike selective restart, the whole machine replays
           them. *)
-  mutex_state : (int option * int list) array;
-  cond_state : int list array;
+  (* Waiter queues are immutable, so snapshotting them is by reference. *)
+  mutex_state : (int option * Exec.Fifo.t) array;
+  cond_state : Exec.Fifo.t array;
   barrier_state : int list array;
   alloc_state : Vm.Mem.alloc_state;
 }
@@ -88,6 +89,12 @@ type eng = {
   mutable consecutive_rollbacks : int;
   mutable restore_resets_to : int;  (* taken_at of last restore target *)
   mutable work_done : int array;  (* per-thread executed cycles; grown on demand *)
+  (* Fused-dispatch horizons: a chain must not cross the armed checkpoint
+     alarm or the outstanding fault report (max_int when none). *)
+  mutable alarm_time : int;
+  mutable next_report_time : int;
+  budget : int;  (* max_cycles, or max_int *)
+  instrs : int ref;  (* cached "instrs" counter *)
 }
 
 let note_work eng tid d =
@@ -180,7 +187,7 @@ let make_runnable eng ~ctx_hint tid =
 
 let schedule_tick eng ctx ~after =
   let h =
-    Sim.Event_queue.schedule eng.st.Exec.State.evq
+    Sim.Event_queue.schedule eng.st.Exec.State.evq ~prio:(1 + ctx)
       ~time:(now eng + Stdlib.max Exec.Sem.min_cost after)
       (Tick ctx)
   in
@@ -188,6 +195,7 @@ let schedule_tick eng ctx ~after =
 
 let dispatch eng ctx (tcb : Vm.Tcb.t) =
   let st = eng.st in
+  let t0 = now eng in
   let ctrl = ref 0 in
   let rec fetch () =
     match Vm.Tcb.current_instr tcb with
@@ -214,7 +222,9 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     | Some i -> i
   in
   let instr = fetch () in
-  Sim.Stats.incr st.Exec.State.stats "instrs";
+  incr eng.instrs;
+  Vm.Block.profile_ctrl st.Exec.State.stats !ctrl;
+  Vm.Block.profile_instr st.Exec.State.stats instr;
   (match instr with Vm.Isa.Exit -> () | _ -> tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1);
   let wake ?(hint = ctx) tids = List.iter (make_runnable eng ~ctx_hint:hint) tids in
   let d =
@@ -265,8 +275,34 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     | Vm.Isa.Goto _ | Vm.Isa.If _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
       assert false
   in
-  note_work eng tcb.Vm.Tcb.tid (!ctrl + d);
-  schedule_tick eng ctx ~after:(!ctrl + d)
+  if Vm.Block.fusing () && tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then begin
+    let q_empty = Sched.Scheduler.is_empty eng.sched in
+    let t_next =
+      match Sim.Event_queue.peek_time st.Exec.State.evq with
+      | Some t -> t
+      | None -> max_int
+    in
+    let started = eng.started.(ctx) in
+    let quantum = st.Exec.State.costs.Vm.Costs.quantum in
+    (* Strict on the alarm and report horizons: at those instants the
+       alarm/report event outranks the tick (lower priority value), so
+       the unfused engine quiesces or restores before dispatching. *)
+    let keep_going s =
+      s <= eng.budget && s < eng.alarm_time && s < eng.next_report_time
+      && (s - started < quantum || (q_empty && s < t_next))
+    in
+    let vend =
+      Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going
+        ~on_fused:(fun _ _ -> ())
+        ~vstart:(t0 + Stdlib.max Exec.Sem.min_cost (!ctrl + d))
+    in
+    note_work eng tcb.Vm.Tcb.tid (vend - t0);
+    schedule_tick eng ctx ~after:(vend - t0)
+  end
+  else begin
+    note_work eng tcb.Vm.Tcb.tid (!ctrl + d);
+    schedule_tick eng ctx ~after:(!ctrl + d)
+  end
 
 let fill eng ctx =
   if eng.mode = Normal then
@@ -408,7 +444,8 @@ let schedule_alarm eng =
   let h =
     Sim.Event_queue.schedule st.Exec.State.evq ~time:(now eng + interval) Ckpt_alarm
   in
-  eng.alarm <- Some h
+  eng.alarm <- Some h;
+  eng.alarm_time <- now eng + interval
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -440,6 +477,7 @@ let begin_restore eng ~occurred_at =
     Sim.Event_queue.cancel st.Exec.State.evq h;
     eng.alarm <- None
   | None -> ());
+  eng.alarm_time <- max_int;
   cancel_all_ticks eng;
   (* Choose the newest checkpoint not contaminated by the exception: it
      must have been taken before the exception occurred. *)
@@ -494,8 +532,9 @@ let finish_restore eng =
     let tcb = Exec.State.thread st tid in
     if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then make_runnable eng ~ctx_hint:tid tid
   done;
-  fill_all eng;
+  (* Arm the alarm before dispatching so fused chains see its horizon. *)
   schedule_alarm eng;
+  fill_all eng;
   (* A report that arrived mid-restore is serviced now. *)
   match eng.pending_reports with
   | [] -> ()
@@ -548,9 +587,10 @@ let schedule_next_fault eng =
   let inj, ev = Faults.Injector.next eng.injector in
   eng.injector <- inj;
   match ev with
-  | None -> ()
+  | None -> eng.next_report_time <- max_int
   | Some ev ->
     let time = Stdlib.max ev.Faults.Injector.reported_at (now eng) in
+    eng.next_report_time <- time;
     ignore
       (Sim.Event_queue.schedule eng.st.Exec.State.evq ~time
          (Fault_report
@@ -586,15 +626,21 @@ let run cfg program =
       consecutive_rollbacks = 0;
       restore_resets_to = 0;
       work_done = Array.make 64 0;
+      alarm_time = max_int;
+      next_report_time = max_int;
+      budget = Option.value ~default:max_int cfg.max_cycles;
+      instrs = Sim.Stats.counter st.Exec.State.stats "instrs";
     }
   in
   st.Exec.State.current_undo <- Some eng.cur_log;
   (* Initial (time-0) checkpoint so recovery is always possible. *)
   eng.snaps <- [ take_snapshot eng ];
   make_runnable eng ~ctx_hint:0 Exec.State.main_tid;
-  fill_all eng;
+  (* Horizons (alarm, fault report) are armed before the first dispatch
+     so fused chains never cross them. *)
   schedule_alarm eng;
   schedule_next_fault eng;
+  fill_all eng;
   let dnc () = Exec.State.mk_result st ~dnc:true in
   let rec loop () =
     if eng.consecutive_rollbacks > cfg.livelock_rollbacks then dnc ()
@@ -623,8 +669,10 @@ let run cfg program =
             else schedule_alarm eng
           | Ckpt_done ->
             if eng.mode = Recording then begin
-              commit_checkpoint eng;
-              schedule_alarm eng
+              (* Alarm first: commit dispatches, and fused chains must
+                 not cross the next alarm. *)
+              schedule_alarm eng;
+              commit_checkpoint eng
             end
           | Fault_report { occurred_at; ctx } ->
             schedule_next_fault eng;

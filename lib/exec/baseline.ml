@@ -24,6 +24,8 @@ type eng = {
   last_tid : int array;  (* context -> last tid it ran, -1 if none *)
   started : int array;  (* context -> time current thread got the context *)
   queued : (int, unit) Hashtbl.t;  (* tids currently in the run queue *)
+  budget : int;  (* max_cycles, or max_int *)
+  instrs : int ref;  (* cached "instrs" counter *)
 }
 
 let on_ctx eng tid = Array.exists (fun o -> o = Some tid) eng.ctx_of
@@ -37,15 +39,18 @@ let make_runnable eng ~ctx_hint tid =
 let schedule_tick eng ctx ~after =
   let now = State.now eng.st in
   ignore
-    (Sim.Event_queue.schedule eng.st.State.evq
+    (Sim.Event_queue.schedule eng.st.State.evq ~prio:(1 + ctx)
        ~time:(now + Stdlib.max Sem.min_cost after)
        (Tick ctx))
 
-(* Execute one instruction of [tcb] on [ctx]; schedules the context's next
-   tick. Control-flow instructions are fused into the next real
-   instruction at one cycle each. *)
+(* Execute one instruction of [tcb] on [ctx], then as much of the
+   following fused block as stays unobservable, and schedule the
+   context's next tick at the chain's completion time. Control-flow
+   instructions are fused into the next real instruction at one cycle
+   each. *)
 let dispatch eng ctx (tcb : Vm.Tcb.t) =
   let st = eng.st in
+  let t0 = State.now st in
   let ctrl = ref 0 in
   let rec fetch () =
     match Vm.Tcb.current_instr tcb with
@@ -72,7 +77,9 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     | Some i -> i
   in
   let instr = fetch () in
-  Sim.Stats.incr st.State.stats "instrs";
+  incr eng.instrs;
+  Vm.Block.profile_ctrl st.State.stats !ctrl;
+  Vm.Block.profile_instr st.State.stats instr;
   (* Advance past the instruction before executing it, so blocked threads
      resume after it (see {!Sem}). [Exit] needs no pc update. *)
   (match instr with Vm.Isa.Exit -> () | _ -> tcb.Vm.Tcb.pc <- tcb.Vm.Tcb.pc + 1);
@@ -125,7 +132,30 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     | Vm.Isa.Goto _ | Vm.Isa.If _ | Vm.Isa.Cpr_begin | Vm.Isa.Cpr_end ->
       assert false (* fused above *)
   in
-  schedule_tick eng ctx ~after:(!ctrl + d)
+  if Vm.Block.fusing () && tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then begin
+    (* The run queue is sampled after the first instruction (which may
+       have woken threads); the event queue cannot have changed since the
+       hop started, so its head bounds how long the sample stays valid. *)
+    let q_empty = Sched.Scheduler.is_empty eng.sched in
+    let t_next =
+      match Sim.Event_queue.peek_time st.State.evq with
+      | Some t -> t
+      | None -> max_int
+    in
+    let started = eng.started.(ctx) in
+    let quantum = st.State.costs.Vm.Costs.quantum in
+    let keep_going s =
+      s <= eng.budget
+      && (s - started < quantum || (q_empty && s < t_next))
+    in
+    let vend =
+      Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going
+        ~on_fused:(fun _ _ -> ())
+        ~vstart:(t0 + Stdlib.max Sem.min_cost (!ctrl + d))
+    in
+    schedule_tick eng ctx ~after:(vend - t0)
+  end
+  else schedule_tick eng ctx ~after:(!ctrl + d)
 
 let fill eng ctx =
   match Sched.Scheduler.take eng.sched ~ctx with
@@ -191,6 +221,8 @@ let run config program =
       last_tid = Array.make config.n_contexts (-1);
       started = Array.make config.n_contexts 0;
       queued = Hashtbl.create 64;
+      budget = Option.value ~default:max_int config.max_cycles;
+      instrs = Sim.Stats.counter st.State.stats "instrs";
     }
   in
   make_runnable eng ~ctx_hint:0 State.main_tid;

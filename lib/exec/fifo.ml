@@ -1,0 +1,21 @@
+(* Functional two-list FIFO of thread ids. See fifo.mli. *)
+
+type t = { front : int list; back : int list }
+
+let empty = { front = []; back = [] }
+let is_empty q = q.front = [] && q.back = []
+let push q x = { q with back = x :: q.back }
+let push_front q x = { q with front = x :: q.front }
+
+let pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front })
+  | [] -> (
+    match List.rev q.back with
+    | [] -> None
+    | x :: front -> Some (x, { front; back = [] }))
+
+let to_list q = q.front @ List.rev q.back
+let of_list l = { front = l; back = [] }
+let filter f q = { front = List.filter f q.front; back = List.filter f q.back }
+let length q = List.length q.front + List.length q.back

@@ -1,0 +1,35 @@
+(** First-in-first-out queue of thread ids.
+
+    The classic two-list functional queue: [push] is O(1), [pop] is
+    amortized O(1), and values are immutable so CPR snapshots capture a
+    waiter queue by reference instead of copying it. Replaces the
+    [list @ [tid]] append idiom in the semantic layer, which made every
+    enqueue O(n) in the number of waiters. Grant order is strictly
+    insertion order (FIFO), except where recovery deliberately uses
+    {!push_front} to re-queue a lock's previous holder at the head. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val push : t -> int -> t
+(** Enqueue at the tail. O(1). *)
+
+val push_front : t -> int -> t
+(** Enqueue at the head, ahead of all current waiters. Used by GPRS
+    recovery to re-grant a revoked lock to the thread that held it. *)
+
+val pop : t -> (int * t) option
+(** Dequeue the oldest element. Amortized O(1). *)
+
+val to_list : t -> int list
+(** Front-to-back element list (head of the result pops first). *)
+
+val of_list : int list -> t
+(** Queue popping in the list's order. *)
+
+val filter : (int -> bool) -> t -> t
+(** Keep only elements satisfying the predicate, preserving order. *)
+
+val length : t -> int

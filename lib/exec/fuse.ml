@@ -1,0 +1,39 @@
+(* Fused-chain execution shared by the three engines. See fuse.mli. *)
+
+let run_chain (type ev) (st : ev State.t) (tcb : Vm.Tcb.t) ~instrs ~keep_going
+    ~on_fused ~vstart =
+  let proc = tcb.Vm.Tcb.proc in
+  let stats = st.State.stats in
+  let vnow = ref vstart in
+  let fused = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if tcb.Vm.Tcb.wait <> Vm.Tcb.Runnable then stop := true
+    else begin
+      let pr =
+        Vm.Block.probe_ctrl proc ~pc:tcb.Vm.Tcb.pc ~regs:tcb.Vm.Tcb.regs
+          ~in_cpr:tcb.Vm.Tcb.in_cpr_region
+      in
+      match Vm.Block.landing proc pr with
+      | Some ((Vm.Isa.Work { cost; run } | Vm.Isa.Opaque { cost; run }) as i)
+        when keep_going !vnow ->
+        (* Commit the probe: consume the control prefix and the landing
+           instruction, exactly as the per-instruction fetch loop would. *)
+        tcb.Vm.Tcb.pc <- pr.Vm.Block.p_pc + 1;
+        tcb.Vm.Tcb.in_cpr_region <- pr.Vm.Block.p_in_cpr;
+        incr instrs;
+        Vm.Block.profile_ctrl stats pr.Vm.Block.p_ctrl;
+        Vm.Block.profile_instr stats i;
+        on_fused pr i;
+        let d = Sem.exec_work st tcb ~cost ~run in
+        vnow := !vnow + pr.Vm.Block.p_ctrl + d;
+        incr fused
+      | _ ->
+        (* Abandon the probe untouched: the next real tick replays the
+           control prefix through its own fetch loop, so trailing control
+           cycles stay charged to the stopping instruction's hop. *)
+        stop := true
+    end
+  done;
+  Vm.Block.profile_hop stats (1 + !fused);
+  !vnow

@@ -1,0 +1,41 @@
+(** Fused-chain execution, shared by the three engines' dispatch loops.
+
+    After an engine has dispatched one instruction the ordinary way (any
+    kind, at hop start time [t0], completing at [vstart]), [run_chain]
+    keeps executing the thread's following fused block — [Work]/[Opaque]
+    instructions plus the control transfers between them — without
+    returning to the event queue, accumulating each instruction's exact
+    duration. The engine then schedules a single tick at the returned
+    completion time, so simulated-cycle accounting is bit-identical to
+    the per-instruction schedule; only the number of heap operations
+    changes. *)
+
+val run_chain :
+  'ev State.t ->
+  Vm.Tcb.t ->
+  instrs:int ref ->
+  keep_going:(int -> bool) ->
+  on_fused:(Vm.Block.probe -> Vm.Isa.instr -> unit) ->
+  vstart:int ->
+  int
+(** [run_chain st tcb ~instrs ~keep_going ~on_fused ~vstart] returns the
+    virtual completion time of the chain (= [vstart] when nothing fused).
+
+    Each iteration probes the control chain from [tcb.pc]; if the landing
+    instruction is fusible {e and} [keep_going s] holds at the boundary
+    [s] (the completion time of the previous instruction — the instant
+    the unfused engine's next tick would have popped), the probe is
+    committed, [on_fused] runs (engine bookkeeping, after the pc /
+    CPR-flag commit, before execution), the instruction executes via
+    {!Sem.exec_work}, and the clock advances by the control cycles plus
+    the instruction's duration. Otherwise the probe is abandoned with
+    the pc untouched and the chain ends.
+
+    [keep_going] must be monotone in the engine's deopt conditions:
+    returning [false] is always sound (the real tick re-checks live
+    state), returning [true] asserts that no observable event — quantum
+    preemption with waiters, armed alarm, fault occurrence/report, cycle
+    budget — falls strictly inside the boundary's window.
+
+    [instrs] is the engine's cached ["instrs"] counter; it is bumped once
+    per fused instruction, matching the unfused one-per-dispatch rate. *)

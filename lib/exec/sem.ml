@@ -18,17 +18,17 @@ let try_lock st (tcb : Vm.Tcb.t) m =
   | Some h when h = tcb.Vm.Tcb.tid ->
     invalid_arg "Sem.try_lock: recursive acquisition (workload bug)"
   | Some _ ->
-    mu.State.mwaiters <- mu.State.mwaiters @ [ tcb.Vm.Tcb.tid ];
+    mu.State.mwaiters <- Fifo.push mu.State.mwaiters tcb.Vm.Tcb.tid;
     tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m;
     (false, dur costs.Vm.Costs.lock 0)
 
 let grant_next st m =
   let mu = st.State.mutexes.(m) in
-  match mu.State.mwaiters with
-  | [] ->
+  match Fifo.pop mu.State.mwaiters with
+  | None ->
     mu.State.holder <- None;
     None
-  | w :: rest ->
+  | Some (w, rest) ->
     mu.State.mwaiters <- rest;
     mu.State.holder <- Some w;
     let wt = State.thread st w in
@@ -51,7 +51,7 @@ let cond_block st (tcb : Vm.Tcb.t) ~c ~m =
   | Some _ | None -> invalid_arg "Sem.cond_block: caller must hold the mutex");
   let granted = grant_next st m in
   let cv = st.State.conds.(c) in
-  cv.State.sleepers <- cv.State.sleepers @ [ tcb.Vm.Tcb.tid ];
+  cv.State.sleepers <- Fifo.push cv.State.sleepers tcb.Vm.Tcb.tid;
   tcb.Vm.Tcb.wait <- Vm.Tcb.On_cond { c; m };
   (granted, dur (costs.Vm.Costs.condvar + costs.Vm.Costs.unlock) 0)
 
@@ -64,7 +64,7 @@ let reacquire st w m =
     wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
     true
   | Some _ ->
-    mu.State.mwaiters <- mu.State.mwaiters @ [ w ];
+    mu.State.mwaiters <- Fifo.push mu.State.mwaiters w;
     wt.Vm.Tcb.wait <- Vm.Tcb.On_mutex m;
     false
 
@@ -72,9 +72,11 @@ let cond_wake st ~c ~all =
   let costs = st.State.costs in
   let cv = st.State.conds.(c) in
   let woken, remaining =
-    match cv.State.sleepers with
-    | [] -> ([], [])
-    | w :: rest -> if all then (cv.State.sleepers, []) else ([ w ], rest)
+    match Fifo.pop cv.State.sleepers with
+    | None -> ([], Fifo.empty)
+    | Some (w, rest) ->
+      if all then (Fifo.to_list cv.State.sleepers, Fifo.empty)
+      else ([ w ], rest)
   in
   cv.State.sleepers <- remaining;
   let woken =
@@ -129,7 +131,10 @@ let atomic_rmw st (tcb : Vm.Tcb.t) ~var ~rmw ~dst =
   let v = rmw ~old tcb.Vm.Tcb.regs in
   State.write_atomic st var v;
   tcb.Vm.Tcb.regs.(dst) <- old;
-  dur costs.Vm.Costs.atomic 0
+  (* write_atomic notes a pre-image, which accrues tracked-access cost;
+     absorb it here rather than letting it leak into whichever exec_work
+     runs next (possibly on another thread). *)
+  dur costs.Vm.Costs.atomic (State.take_acc_cost st)
 
 let fork st (tcb : Vm.Tcb.t) ~group ~proc ~args ~dst =
   let costs = st.State.costs in

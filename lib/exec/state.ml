@@ -18,10 +18,11 @@ type 'ev t = {
   mutable current_undo : Undo_log.t option;
   mutable acc_cost : int;
   output_handles : (string * Vm.Io.file) list;
+  blocks : Vm.Block.t;
 }
 
-and mutex = { mutable holder : int option; mutable mwaiters : int list }
-and cond = { mutable sleepers : int list }
+and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
+and cond = { mutable sleepers : Fifo.t }
 and barrier = { parties : int; mutable arrived : int list }
 
 exception Deadlock of string
@@ -57,9 +58,10 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     atomics = Array.make (Stdlib.max 1 program.n_atomics) 0;
     mutexes =
       Array.init (Stdlib.max 1 program.n_mutexes) (fun _ ->
-          { holder = None; mwaiters = [] });
+          { holder = None; mwaiters = Fifo.empty });
     conds =
-      Array.init (Stdlib.max 1 program.n_condvars) (fun _ -> { sleepers = [] });
+      Array.init (Stdlib.max 1 program.n_condvars) (fun _ ->
+          { sleepers = Fifo.empty });
     barriers =
       Array.init
         (Array.length program.barrier_parties)
@@ -74,6 +76,7 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     current_undo = None;
     acc_cost = 0;
     output_handles;
+    blocks = Vm.Block.analyze program;
   }
 
 let thread t tid =

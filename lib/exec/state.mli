@@ -32,10 +32,11 @@ type 'ev t = {
   mutable current_undo : Undo_log.t option;
   mutable acc_cost : int;  (** cycles accrued by tracked accesses *)
   output_handles : (string * Vm.Io.file) list;
+  blocks : Vm.Block.t;  (** fused-block pre-decode of [program] *)
 }
 
-and mutex = { mutable holder : int option; mutable mwaiters : int list }
-and cond = { mutable sleepers : int list }
+and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
+and cond = { mutable sleepers : Fifo.t }
 and barrier = { parties : int; mutable arrived : int list }
 
 val create :

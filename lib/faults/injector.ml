@@ -87,6 +87,8 @@ let next t =
     ({ t with prng; last = at_s; seq = t.seq + 1 }, Some ev)
   end
 
+let peek t = snd (next t)
+
 let pp_kind ppf k =
   Format.pp_print_string ppf
     (match k with

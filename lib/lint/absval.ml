@@ -22,9 +22,14 @@
 
    Probing runs workload OCaml code at lint time. That code is the same
    code the interpreter runs, restricted to the [Env] interface, so it is
-   side-effect-free outside the sandbox; it is expected to terminate on
-   arbitrary register/memory values (all shipped workloads do — their
-   loops are OCaml-level, not fake-memory-driven). *)
+   side-effect-free outside the sandbox. Termination, however, cannot be
+   assumed cheap: a body whose loop bound is data-dependent (e.g.
+   [for k = 1 to len] where [len] is an unknown register) sees a filler
+   value in the millions and would burn seconds per probe. Every sandbox
+   therefore carries a fuel budget counted in [Env] operations; running
+   out aborts the probe, which {!eval_work} already folds to all-[Top] —
+   the sound answer for a body whose effects we could not afford to
+   observe. *)
 
 type t = Known of int | Top
 
@@ -86,28 +91,52 @@ let eval_cond regs f =
     | false -> `False
     | exception _ -> `Unknown)
 
+exception Out_of_fuel
+
+(* Generous for every honest per-instruction body (the shipped workloads
+   touch at most a few thousand words per [Work]), tiny next to the
+   ~10^6-iteration loops a filler-valued bound produces. *)
+let probe_fuel = 50_000
+
 (* Sandboxed environment for probe-executing a [Work] body: writes are
    remembered (so read-after-write within one body is consistent), reads
    of untouched addresses and all file contents are salt-dependent, and
-   the tid differs between probes so tid-derived values demote to Top. *)
+   the tid differs between probes so tid-derived values demote to Top.
+   Every operation burns fuel; exhaustion raises {!Out_of_fuel}. *)
 let sandbox_env ~salt regs =
   let written : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let files : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let h x = ((x * 0x9E3779B9) + salt) land 0x3FFF_FFFF in
+  let fuel = ref probe_fuel in
+  let burn () =
+    decr fuel;
+    if !fuel < 0 then raise Out_of_fuel
+  in
   {
     Vm.Env.tid = salt land 0xFFF;
     regs;
     read =
       (fun a ->
+        burn ();
         match Hashtbl.find_opt written a with Some v -> v | None -> h (a + 1));
-    write = (fun a v -> Hashtbl.replace written a v);
-    file_size = (fun fd -> h (fd + 0x1001) land 0xFFF);
+    write =
+      (fun a v ->
+        burn ();
+        Hashtbl.replace written a v);
+    file_size =
+      (fun fd ->
+        burn ();
+        h (fd + 0x1001) land 0xFFF);
     file_read =
       (fun fd ~off ->
+        burn ();
         match Hashtbl.find_opt files (fd, off) with
         | Some v -> v
         | None -> h ((fd * 65599) + off));
-    file_write = (fun fd ~off v -> Hashtbl.replace files (fd, off) v);
+    file_write =
+      (fun fd ~off v ->
+        burn ();
+        Hashtbl.replace files (fd, off) v);
   }
 
 let eval_work regs run =

@@ -1,5 +1,6 @@
 type 'a cell = {
   time : Time.cycles;
+  prio : int;
   seq : int;
   payload : 'a;
   mutable cancelled : bool;
@@ -23,7 +24,10 @@ let is_empty q = q.live = 0
 let length q = q.live
 let now q = q.clock
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let precedes a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
 let swap q i j =
   let tmp = q.heap.(i) in
@@ -49,9 +53,11 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
-let schedule q ~time payload =
+let schedule ?(prio = 0) q ~time payload =
   assert (time >= q.clock);
-  let cell = { time; seq = q.next_seq; payload; cancelled = false; fired = false } in
+  let cell =
+    { time; prio; seq = q.next_seq; payload; cancelled = false; fired = false }
+  in
   q.next_seq <- q.next_seq + 1;
   if q.size = Array.length q.heap then begin
     let cap = Stdlib.max 16 (2 * Array.length q.heap) in

@@ -1,9 +1,16 @@
 (** Pending-event set of the discrete-event simulator.
 
-    A binary min-heap keyed by [(time, sequence)]. The sequence number is a
-    monotonically increasing tie-breaker so that events scheduled for the
-    same instant fire in insertion order — this makes the whole simulation
-    deterministic without relying on heap internals. Events may be
+    A binary min-heap keyed by [(time, priority, sequence)]. The sequence
+    number is a monotonically increasing tie-breaker so that events
+    scheduled for the same instant and priority fire in insertion order —
+    this makes the whole simulation deterministic without relying on heap
+    internals. The priority component exists for fused block dispatch:
+    engines schedule their per-context ticks at [1 + ctx] so that
+    same-time ordering is a function of simulated state alone (system
+    events first, then contexts in index order) rather than of {e when}
+    each tick happened to be inserted — which is precisely what differs
+    between a fused run (tick inserted at block start) and an unfused one
+    (tick inserted at the last instruction boundary). Events may be
     cancelled in O(1) (lazy deletion). *)
 
 type 'a t
@@ -19,9 +26,11 @@ val is_empty : 'a t -> bool
 val length : 'a t -> int
 (** Live (non-cancelled) event count. *)
 
-val schedule : 'a t -> time:Time.cycles -> 'a -> handle
+val schedule : ?prio:int -> 'a t -> time:Time.cycles -> 'a -> handle
 (** [schedule q ~time payload] inserts an event. [time] must be
-    [>= now q] if the queue has ever been popped; this is asserted. *)
+    [>= now q] if the queue has ever been popped; this is asserted.
+    [prio] (default 0) breaks same-time ties before insertion order:
+    lower fires first. *)
 
 val cancel : 'a t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op.

@@ -12,6 +12,10 @@ val create : unit -> t
 val incr : t -> string -> unit
 (** Add 1 to a counter, creating it at 0 first if needed. *)
 
+val counter : t -> string -> int ref
+(** The counter cell itself (created at 0 if absent). Dispatch loops
+    cache this to keep per-instruction accounting off the hashtable. *)
+
 val add : t -> string -> int -> unit
 (** Add an arbitrary amount to a counter. *)
 

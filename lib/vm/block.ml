@@ -1,0 +1,148 @@
+(* Fused-block pre-decoder. See block.mli for the contract. *)
+
+type cls = Fuse | Ctrl | Stop
+
+let classify = function
+  | Isa.Work _ | Isa.Opaque _ -> Fuse
+  | Isa.Goto _ | Isa.If _ | Isa.Cpr_begin | Isa.Cpr_end -> Ctrl
+  | Isa.Lock _ | Isa.Unlock _ | Isa.Barrier _ | Isa.Cond_wait _
+  | Isa.Cond_signal _ | Isa.Atomic _ | Isa.Nonstd_atomic _ | Isa.Fork _
+  | Isa.Join _ | Isa.Alloc _ | Isa.Free _ | Isa.Exit ->
+    Stop
+
+(* --- runtime switches ------------------------------------------------- *)
+
+let enabled = ref (Sys.getenv_opt "GPRS_NO_FUSE" = None)
+let fusing () = !enabled
+let set_fusing b = enabled := b
+
+let profiling = ref false
+let set_profiling b = profiling := b
+
+(* --- static pre-decode ------------------------------------------------ *)
+
+type proc_blocks = {
+  fuse_run : int array;
+      (* fuse_run.(pc) = length of the maximal Fuse-class run starting at
+         pc (0 when code.(pc) is not Fuse-class) *)
+  n_blocks : int;
+  lengths : (int * int) list;
+}
+
+type t = (string, proc_blocks) Hashtbl.t
+
+let analyze_proc (p : Isa.proc) =
+  let code = p.Isa.code in
+  let n = Array.length code in
+  let fuse_run = Array.make (n + 1) 0 in
+  for pc = n - 1 downto 0 do
+    if classify code.(pc) = Fuse then fuse_run.(pc) <- 1 + fuse_run.(pc + 1)
+  done;
+  (* Static blocks: maximal Fuse runs additionally broken at branch
+     targets, so each block is straight-line code with a unique entry. *)
+  let target = Array.make (n + 1) false in
+  Array.iter
+    (fun i ->
+      let mark t = if t >= 0 && t <= n then target.(t) <- true in
+      match i with
+      | Isa.Goto t -> mark t
+      | Isa.If { target = t; _ } -> mark t
+      | _ -> ())
+    code;
+  let hist = Hashtbl.create 8 in
+  let n_blocks = ref 0 in
+  let pc = ref 0 in
+  while !pc < n do
+    if fuse_run.(!pc) = 0 then incr pc
+    else begin
+      let len = ref 0 in
+      let limit = fuse_run.(!pc) in
+      while !len < limit && (!len = 0 || not target.(!pc + !len)) do
+        incr len
+      done;
+      incr n_blocks;
+      let cur = Option.value ~default:0 (Hashtbl.find_opt hist !len) in
+      Hashtbl.replace hist !len (cur + 1);
+      pc := !pc + !len
+    end
+  done;
+  {
+    fuse_run;
+    n_blocks = !n_blocks;
+    lengths =
+      List.sort compare (Hashtbl.fold (fun l c acc -> (l, c) :: acc) hist []);
+  }
+
+let analyze (p : Isa.program) : t =
+  let t = Hashtbl.create (List.length p.Isa.procs) in
+  List.iter
+    (fun (name, proc) -> Hashtbl.replace t name (analyze_proc proc))
+    p.Isa.procs;
+  t
+
+let proc_info (t : t) (p : Isa.proc) =
+  match Hashtbl.find_opt t p.Isa.pname with
+  | Some info -> info
+  | None -> invalid_arg ("Block.proc_info: unknown proc " ^ p.Isa.pname)
+
+let static_histogram (t : t) =
+  let hist = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ info ->
+      List.iter
+        (fun (l, c) ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt hist l) in
+          Hashtbl.replace hist l (cur + c))
+        info.lengths)
+    t;
+  List.sort compare (Hashtbl.fold (fun l c acc -> (l, c) :: acc) hist [])
+
+(* --- control-flow probe ----------------------------------------------- *)
+
+type probe = {
+  p_pc : int;
+  p_ctrl : int;
+  p_in_cpr : bool;
+  p_entered_cpr : bool;
+}
+
+let probe_ctrl (p : Isa.proc) ~pc ~regs ~in_cpr =
+  let code = p.Isa.code in
+  let n = Array.length code in
+  let rec go pc ctrl in_cpr entered =
+    if pc < 0 || pc >= n then
+      { p_pc = pc; p_ctrl = ctrl; p_in_cpr = in_cpr; p_entered_cpr = entered }
+    else
+      match code.(pc) with
+      | Isa.Goto target -> go target (ctrl + 1) in_cpr entered
+      | Isa.If { cond; target } ->
+        go (if cond regs then target else pc + 1) (ctrl + 1) in_cpr entered
+      | Isa.Cpr_begin -> go (pc + 1) (ctrl + 1) true true
+      | Isa.Cpr_end -> go (pc + 1) (ctrl + 1) false entered
+      | _ ->
+        { p_pc = pc; p_ctrl = ctrl; p_in_cpr = in_cpr; p_entered_cpr = entered }
+  in
+  go pc 0 in_cpr false
+
+let landing (p : Isa.proc) pr =
+  if pr.p_pc >= 0 && pr.p_pc < Array.length p.Isa.code then
+    Some p.Isa.code.(pr.p_pc)
+  else None
+
+(* --- dispatch-mix profiling ------------------------------------------- *)
+
+let profile_instr stats (i : Isa.instr) =
+  if !profiling then Sim.Stats.incr stats ("dispatch." ^ Isa.instr_name i)
+
+let profile_ctrl stats n =
+  if !profiling && n > 0 then Sim.Stats.add stats "dispatch.ctrl" n
+
+let hop_cap = 64
+
+let profile_hop stats len =
+  if !profiling then begin
+    Sim.Stats.incr stats "fuse.hops";
+    Sim.Stats.incr stats
+      (if len > hop_cap then Printf.sprintf "fuse.len.%02d+" hop_cap
+       else Printf.sprintf "fuse.len.%02d" len)
+  end

@@ -1,0 +1,105 @@
+(** Fused-block pre-decoder.
+
+    Partitions each proc's [code] array, once per program load, into
+    {e fused blocks}: maximal runs of fusible instructions that an engine
+    may execute in a single event-queue hop, summing their durations,
+    instead of paying one heap push/pop per instruction. Engines combine
+    the static decode with a dynamic control-flow {!probe_ctrl} so a hop
+    can chase [Goto]/[If]/[Cpr_begin]/[Cpr_end] chains across block
+    boundaries exactly as the per-instruction fetch loop does.
+
+    The fusible ({!Fuse}) class is deliberately narrower than "not a sync
+    point": only [Work] and [Opaque] qualify. [Unlock], [Alloc], [Free]
+    and [Nonstd_atomic] are straight-line filler for {e sub-thread
+    formation} but are cross-thread {e observable} (wake hand-off order,
+    allocator address order, atomic interleaving), so hoisting them to the
+    hop's start time could change another thread's behaviour; they stay
+    {!Stop} class and dispatch alone at their exact unfused times. [Work]
+    and [Opaque] only touch data that is race-free in a correct program
+    (the lock discipline GPRS-lint enforces), so their effects commute
+    with every event inside the hop's time window and cycle accounting,
+    sub-thread boundaries, stats and output digests stay bit-identical —
+    the engines additionally deopt to instruction-at-a-time stepping
+    whenever precise interleaving is observable (pending injected fault
+    in the window, armed CPR alarm, quantum expiry, recovery in
+    progress, cycle-budget edge).
+
+    Chains evaluate each [If] condition exactly once (the probe's results
+    are committed, never re-run); conditions are assumed pure, as every
+    builder-generated program satisfies. *)
+
+type cls =
+  | Fuse  (** [Work]/[Opaque]: fusible straight-line filler *)
+  | Ctrl  (** [Goto]/[If]/[Cpr_begin]/[Cpr_end]: fused at 1 cycle each *)
+  | Stop  (** everything else: dispatched alone, ends the block *)
+
+val classify : Isa.instr -> cls
+
+(** {1 Runtime switches} *)
+
+val fusing : unit -> bool
+(** Whether engines may fuse. Initialized from the environment:
+    [GPRS_NO_FUSE] (any value) starts it [false]. *)
+
+val set_fusing : bool -> unit
+(** Tests flip this to compare fused and unfused legs in-process. Set it
+    only between runs (engines read it per hop). *)
+
+val set_profiling : bool -> unit
+(** Enable the dispatch-mix profiler: engines then count
+    ["dispatch.<kind>"] per dispatched instruction, ["dispatch.ctrl"]
+    per fused control transfer, and a ["fuse.len.NN"] histogram of
+    fused-hop lengths into run stats. Off by default (the counters are
+    excluded from cross-leg stat-equality checks). *)
+
+val profiling : bool ref
+
+(** {1 Static pre-decode} *)
+
+type proc_blocks = {
+  fuse_run : int array;
+      (** [fuse_run.(pc)] = length of the maximal {!Fuse} run starting at
+          [pc]; 0 when [code.(pc)] is not {!Fuse}. Length
+          [Array.length code + 1] (sentinel 0 at the end). *)
+  n_blocks : int;  (** static fused blocks (runs split at branch targets) *)
+  lengths : (int * int) list;  (** static block length -> count, sorted *)
+}
+
+type t
+
+val analyze : Isa.program -> t
+(** Decode every proc. Done once in [Exec.State.create]. *)
+
+val proc_info : t -> Isa.proc -> proc_blocks
+(** Raises [Invalid_argument] for a proc not in the analyzed program. *)
+
+val static_histogram : t -> (int * int) list
+(** Program-wide static block-length histogram (length -> count). *)
+
+(** {1 Control-flow probe} *)
+
+type probe = {
+  p_pc : int;  (** pc of the first non-Ctrl instruction reached *)
+  p_ctrl : int;  (** control transfers crossed (1 cycle each) *)
+  p_in_cpr : bool;  (** CPR-region flag after the crossing *)
+  p_entered_cpr : bool;  (** a [Cpr_begin] was crossed *)
+}
+
+val probe_ctrl : Isa.proc -> pc:int -> regs:Isa.regs -> in_cpr:bool -> probe
+(** Follow the Ctrl chain from [pc] without touching the TCB, evaluating
+    each [If] condition once. The caller either {e commits} the probe
+    (landing is fusible: assign [p_pc + 1], [p_in_cpr], charge [p_ctrl])
+    or abandons it untouched (landing stops the block: the next real
+    dispatch replays the chain through its own fetch loop, preserving the
+    unfused charging of trailing control cycles to the stop
+    instruction's hop). *)
+
+val landing : Isa.proc -> probe -> Isa.instr option
+(** Instruction at [p_pc]; [None] when the probe ran off the end of the
+    code (an implicit [Exit]). *)
+
+(** {1 Dispatch-mix profiling} *)
+
+val profile_instr : Sim.Stats.t -> Isa.instr -> unit
+val profile_ctrl : Sim.Stats.t -> int -> unit
+val profile_hop : Sim.Stats.t -> int -> unit

@@ -109,6 +109,55 @@ let prop_deque_model =
               got = Some first))
         ops)
 
+(* --- Waiter FIFO: model-based against a list ------------------------- *)
+
+type fifo_op = FPush of int | FPushFront of int | FPop | FDropOdd
+
+let fifo_op_gen =
+  Gen.(
+    frequency
+      [
+        (4, map (fun v -> FPush v) (int_range 0 999));
+        (1, map (fun v -> FPushFront v) (int_range 0 999));
+        (3, pure FPop);
+        (1, pure FDropOdd);
+      ])
+
+let prop_fifo_model =
+  case "fifo: matches list model under random ops"
+    Gen.(list_size (int_range 1 300) fifo_op_gen)
+    (fun ops ->
+      let q = ref Exec.Fifo.empty in
+      let model = ref [] (* head pops first *) in
+      List.for_all
+        (fun op ->
+          match op with
+          | FPush v ->
+            q := Exec.Fifo.push !q v;
+            model := !model @ [ v ];
+            true
+          | FPushFront v ->
+            q := Exec.Fifo.push_front !q v;
+            model := v :: !model;
+            true
+          | FPop -> (
+            match (Exec.Fifo.pop !q, !model) with
+            | None, [] -> true
+            | Some (v, rest), m :: ms ->
+              q := rest;
+              model := ms;
+              v = m
+            | _ -> false)
+          | FDropOdd ->
+            q := Exec.Fifo.filter (fun v -> v mod 2 = 0) !q;
+            model := List.filter (fun v -> v mod 2 = 0) !model;
+            true)
+        ops
+      && Exec.Fifo.to_list !q = !model
+      && Exec.Fifo.length !q = List.length !model
+      && Exec.Fifo.is_empty !q = (!model = [])
+      && Exec.Fifo.to_list (Exec.Fifo.of_list !model) = !model)
+
 (* --- Allocator ------------------------------------------------------ *)
 
 let prop_alloc_no_overlap =
@@ -542,6 +591,7 @@ let suite =
     prop_evq_sorted;
     prop_evq_cancel;
     prop_deque_model;
+    prop_fifo_model;
     prop_alloc_no_overlap;
     prop_alloc_free_roundtrip;
     prop_alloc_coalesce;

@@ -420,6 +420,96 @@ let test_dynamic_mutex_operand () =
     (fun b -> check (Printf.sprintf "bucket %d" b) 12 (Vm.Mem.read r.Exec.State.final_mem b))
     [ 0; 1; 2 ]
 
+(* FIFO grant order (see {!Exec.Fifo}): workers arrive at a held mutex in
+   a known staggered order; the lock must be granted in exactly that
+   order. Each worker records its entry rank at mem[10+rank]. *)
+let test_mutex_fifo_grant_order () =
+  let open Vm.Builder in
+  let n = 5 in
+  let w = proc "w" in
+  (* stagger arrivals: worker i shows up i*10_000 cycles late *)
+  work w ~cost:(fun regs -> 100 + (regs.(0) * 10_000)) (fun _ -> ());
+  lock_const w 0;
+  work_const w 30_000 (fun env ->
+      let rank = env.Vm.Env.read 0 in
+      env.Vm.Env.write (10 + rank) (Vm.Env.get env 0);
+      env.Vm.Env.write 0 (rank + 1));
+  unlock_const w 0;
+  exit_ w;
+  let main = proc "main" in
+  for i = 0 to n - 1 do
+    fork main ~group:1 ~proc:"w" ~dst:(10 + i) (fun _ -> [| i |])
+  done;
+  for i = 0 to n - 1 do
+    join_reg main (10 + i)
+  done;
+  exit_ main;
+  let p =
+    program ~mem_words:64 ~n_mutexes:1 ~n_groups:2 ~entry:"main"
+      [ finish main; finish w ]
+  in
+  let r = run ~n_contexts:(n + 1) p in
+  for i = 0 to n - 1 do
+    check
+      (Printf.sprintf "grant %d went to worker %d" i i)
+      i
+      (Vm.Mem.read r.Exec.State.final_mem (10 + i))
+  done
+
+(* Condvar sleepers must also wake in FIFO order: workers fall asleep in
+   a staggered order, then main signals one at a time; wake rank must
+   equal sleep rank for every worker. *)
+let test_cond_fifo_wake_order () =
+  let open Vm.Builder in
+  let n = 4 in
+  let w = proc "w" in
+  work w ~cost:(fun regs -> 100 + (regs.(0) * 10_000)) (fun _ -> ());
+  lock_const w 0;
+  work_const w 5 (fun env ->
+      let rank = env.Vm.Env.read 0 in
+      env.Vm.Env.write (10 + rank) (Vm.Env.get env 0);
+      env.Vm.Env.write 0 (rank + 1));
+  cond_wait w ~c:0 ~m:0;
+  work_const w 5 (fun env ->
+      let rank = env.Vm.Env.read 1 in
+      env.Vm.Env.write (20 + rank) (Vm.Env.get env 0);
+      env.Vm.Env.write 1 (rank + 1));
+  unlock_const w 0;
+  exit_ w;
+  let main = proc "main" in
+  for i = 0 to n - 1 do
+    fork main ~group:1 ~proc:"w" ~dst:(10 + i) (fun _ -> [| i |])
+  done;
+  (* wait until all are asleep *)
+  let top = fresh_label main in
+  bind main top;
+  lock_const main 0;
+  work_const main 5 (fun env -> Vm.Env.set env 2 (env.Vm.Env.read 0));
+  unlock_const main 0;
+  compute main 500;
+  if_to main (fun r -> r.(2) < n) top;
+  (* wake them one at a time, widely spaced *)
+  for _ = 1 to n do
+    lock_const main 0;
+    cond_signal main 0;
+    unlock_const main 0;
+    compute main 100_000
+  done;
+  for i = 0 to n - 1 do
+    join_reg main (10 + i)
+  done;
+  exit_ main;
+  let p =
+    program ~mem_words:64 ~n_mutexes:1 ~n_condvars:1 ~n_groups:2 ~entry:"main"
+      [ finish main; finish w ]
+  in
+  let r = run ~n_contexts:3 p in
+  for i = 0 to n - 1 do
+    let slept = Vm.Mem.read r.Exec.State.final_mem (10 + i) in
+    check (Printf.sprintf "wake %d went to sleeper %d" i slept) slept
+      (Vm.Mem.read r.Exec.State.final_mem (20 + i))
+  done
+
 let test_implicit_exit_past_end () =
   (* A proc without a trailing Exit terminates implicitly. *)
   let open Vm.Builder in
@@ -441,6 +531,8 @@ let suite =
     Alcotest.test_case "multiple joiners" `Quick test_multiple_joiners;
     Alcotest.test_case "dynamic mutex operand" `Quick test_dynamic_mutex_operand;
     Alcotest.test_case "implicit exit" `Quick test_implicit_exit_past_end;
+    Alcotest.test_case "mutex FIFO grant order" `Quick test_mutex_fifo_grant_order;
+    Alcotest.test_case "condvar FIFO wake order" `Quick test_cond_fifo_wake_order;
     Alcotest.test_case "oversubscription" `Quick test_fork_join_more_workers_than_contexts;
     Alcotest.test_case "single context" `Quick test_single_context_still_correct;
     Alcotest.test_case "mutex counter" `Quick test_mutex_counter;

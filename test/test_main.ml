@@ -15,5 +15,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
+      ("fusion", Test_fusion.suite);
       ("properties", Props.suite);
     ]
