@@ -3,12 +3,16 @@
 
 Usage: python3 bench/compare.py BASELINE.json NEW.json [--factor F]
 
-Experiments are matched on (name, contexts, scale) and micro-benchmarks
-on name, so quick and full runs never gate each other. A measurement
-fails the run (exit 1) only when it exceeds BOTH gates: more than
-F x its baseline (default 1.5 — fused dispatch bought enough headroom
-to gate the ratio tightly) AND more than an absolute slack above it
-(default 0.25 s for experiment wall-clock, 500 ns for micro ns/run).
+Experiments and alloc profiles are matched on (name, contexts, scale)
+and micro-benchmarks on name, so quick and full runs never gate each
+other. A measurement fails the run (exit 1) only when it exceeds BOTH
+gates: more than F x its baseline (default 1.5 — fused dispatch bought
+enough headroom to gate the ratio tightly) AND more than an absolute
+slack above it (default 0.25 s for experiment wall-clock, 500 ns for
+micro ns/run, 2M words for alloc minor_words). The alloc section gates
+GC minor words per run — the pooled boundary path must stay
+allocation-free; promoted_words is reported but never gated (it wobbles
+with minor-heap phase).
 The absolute slack exists because fused dispatch shrank the quick
 experiments to tens of milliseconds, where a 1.5x ratio alone is
 scheduler noise, not a regression. Anything between 1x and the gates
@@ -33,7 +37,11 @@ def index(run):
         for e in run.get("experiments", [])
     }
     micro = {m["name"]: m["ns_per_run"] for m in run.get("micro", [])}
-    return exps, micro
+    alloc = {
+        (a["name"], a["contexts"], round(a["scale"], 4)): a["minor_words"]
+        for a in run.get("alloc", [])
+    }
+    return exps, micro, alloc
 
 
 def compare(kind, base, new, factor, abs_slack):
@@ -69,17 +77,22 @@ def main():
     ap.add_argument("--abs-slack-ns", type=float, default=500.0,
                     help="micro ns/run must also regress by more than this "
                          "many ns to fail (default 500)")
+    ap.add_argument("--abs-slack-words", type=float, default=2e6,
+                    help="alloc minor_words/run must also regress by more "
+                         "than this many words to fail (default 2e6)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
-    base_exps, base_micro = index(base)
-    new_exps, new_micro = index(new)
+    base_exps, base_micro, base_alloc = index(base)
+    new_exps, new_micro, new_alloc = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
     failures = compare("experiment", base_exps, new_exps, args.factor,
                        args.abs_slack_s)
     failures += compare("micro", base_micro, new_micro, args.factor,
                         args.abs_slack_ns)
+    failures += compare("alloc", base_alloc, new_alloc, args.factor,
+                        args.abs_slack_words)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

@@ -33,6 +33,14 @@ type exp_entry = {
 type micro_entry = { m_name : string; m_ns_per_run : float }
 type prof_entry = { p_engine : string; p_key : string; p_value : float }
 
+type alloc_entry = {
+  a_name : string;
+  a_contexts : int;
+  a_scale : float;
+  a_minor_words : float;
+  a_promoted_words : float;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's rows/series at bench scale                      *)
 (* ------------------------------------------------------------------ *)
@@ -94,6 +102,63 @@ let print_experiments ~jobs ~quick =
   List.rev !entries
 
 (* ------------------------------------------------------------------ *)
+(* Allocation profile: Gc words per experiment run                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Gc counters are per-domain, so these are dedicated single runs in the
+   main domain — independent of the [-j] experiment pool. One warm-up run
+   first: lazy program/table initialization would otherwise be charged to
+   the first measurement. The simulator is deterministic, so minor_words
+   is too (promoted_words can wobble a little with minor-heap phase). *)
+let alloc_profile ~quick =
+  let cfg = bench_cfg ~jobs:1 ~quick in
+  let contexts = cfg.Analysis.Experiments.n_contexts in
+  let scale = cfg.Analysis.Experiments.scale in
+  let entries = ref [] in
+  let measure name ~scale f =
+    ignore (f ());
+    let s0 = Gc.quick_stat () in
+    ignore (f ());
+    let s1 = Gc.quick_stat () in
+    entries :=
+      {
+        a_name = name;
+        a_contexts = contexts;
+        a_scale = scale;
+        a_minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+        a_promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+      }
+      :: !entries
+  in
+  let c = { cfg with Analysis.Experiments.scale } in
+  let fig11_scale = if quick then 0.04 else 0.08 in
+  let c11 = { cfg with Analysis.Experiments.scale = fig11_scale } in
+  measure "alloc:fig8a:gprs(wordcount)" ~scale (fun () ->
+      Analysis.Experiments.run_gprs c (Workloads.Suite.find "wordcount")
+        ~grain:Workloads.Workload.Default);
+  measure "alloc:fig8b:gprs(canneal,fine)" ~scale (fun () ->
+      Analysis.Experiments.run_gprs c (Workloads.Suite.find "canneal")
+        ~grain:Workloads.Workload.Fine);
+  measure "alloc:fig11:gprs(pbzip2,faults)" ~scale:fig11_scale (fun () ->
+      Analysis.Experiments.run_gprs ~rate:60.0 c11 (Workloads.Suite.find "pbzip2")
+        ~grain:Workloads.Workload.Default);
+  measure "alloc:cpr(re,faults)" ~scale (fun () ->
+      Analysis.Experiments.run_cpr ~rate:40.0 c (Workloads.Suite.find "re")
+        ~grain:Workloads.Workload.Default);
+  measure "alloc:pthreads(wordcount)" ~scale (fun () ->
+      Analysis.Experiments.run_pthreads c (Workloads.Suite.find "wordcount")
+        ~grain:Workloads.Workload.Default);
+  let entries = List.rev !entries in
+  Format.fprintf ppf "=== Allocation per run (main domain, Gc words) ===@.";
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-36s %14.0f minor  %12.0f promoted@." a.a_name
+        a.a_minor_words a.a_promoted_words)
+    entries;
+  Format.fprintf ppf "@.";
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch-mix profile (--profile)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -135,7 +200,10 @@ let profile_mix ~quick =
       let assoc = Sim.Stats.to_assoc r.Exec.State.run_stats in
       let entries =
         List.filter
-          (fun (k, _) -> prefixed ~prefix:"dispatch." k || prefixed ~prefix:"fuse." k)
+          (fun (k, _) ->
+            prefixed ~prefix:"dispatch." k
+            || prefixed ~prefix:"fuse." k
+            || prefixed ~prefix:"pool." k)
           assoc
       in
       let dispatch = List.filter (fun (k, _) -> prefixed ~prefix:"dispatch." k) entries in
@@ -152,7 +220,7 @@ let profile_mix ~quick =
         (List.sort (fun (_, a) (_, b) -> compare b a) dispatch);
       List.iter
         (fun (k, v) ->
-          if prefixed ~prefix:"fuse.len." k then
+          if prefixed ~prefix:"fuse.len." k || prefixed ~prefix:"pool." k then
             Format.fprintf ppf "  %-24s %12.0f@." k v)
         entries;
       Format.fprintf ppf "@.";
@@ -285,7 +353,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path ~quick ~jobs ~experiments ~micro ~profile =
+let write_json path ~quick ~jobs ~experiments ~alloc ~micro ~profile =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -299,6 +367,17 @@ let write_json path ~quick ~jobs ~experiments ~micro ~profile =
         (json_escape e.e_name) e.e_contexts e.e_scale e.e_wall_s
         (if i = List.length experiments - 1 then "" else ","))
     experiments;
+  p "  ],\n";
+  p "  \"alloc\": [\n";
+  List.iteri
+    (fun i a ->
+      p
+        "    {\"name\": \"%s\", \"contexts\": %d, \"scale\": %.4f, \
+         \"minor_words\": %.0f, \"promoted_words\": %.0f}%s\n"
+        (json_escape a.a_name) a.a_contexts a.a_scale a.a_minor_words
+        a.a_promoted_words
+        (if i = List.length alloc - 1 then "" else ","))
+    alloc;
   p "  ],\n";
   p "  \"micro\": [\n";
   List.iteri
@@ -329,10 +408,12 @@ let main json jobs quick profile =
     if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
   in
   let experiments = print_experiments ~jobs ~quick in
+  let alloc = alloc_profile ~quick in
   let prof = if profile then profile_mix ~quick else [] in
   let micro = run_micro ~quick in
   match json with
-  | Some path -> write_json path ~quick ~jobs ~experiments ~micro ~profile:prof
+  | Some path ->
+    write_json path ~quick ~jobs ~experiments ~alloc ~micro ~profile:prof
   | None -> ()
 
 open Cmdliner

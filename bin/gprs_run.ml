@@ -56,7 +56,14 @@ let print_profile (r : Exec.State.run_result) =
     (fun (k, v) ->
       if prefixed ~prefix:"fuse.len." k then
         Format.printf "  %-24s %12.0f@." k v)
-    assoc
+    assoc;
+  (* Pool effectiveness (gprs only): sub-thread record reuse and
+     event-queue cell recycling, plus the live high-water mark. *)
+  let pool = List.filter (fun (k, _) -> prefixed ~prefix:"pool." k) assoc in
+  if pool <> [] then begin
+    Format.printf "pool (GPRS_NO_POOL=1 disables recycling):@.";
+    List.iter (fun (k, v) -> Format.printf "  %-24s %12.0f@." k v) pool
+  end
 
 let run workload engine contexts scale seed rate grain ordering interval
     show_stats profile strict_lint no_lint =

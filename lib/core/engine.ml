@@ -49,10 +49,11 @@ type eng = {
   rol : Rol.t;
   wal : Wal.t;
   mutable next_sub_id : int;
-  cur_sub : (int, Subthread.t) Hashtbl.t;  (* tid -> current sub-thread *)
-  pending_delay : (int, int) Hashtbl.t;  (* tid -> cycles owed at next dispatch *)
-  queued : (int, unit) Hashtbl.t;
-  destroyed : (int, unit) Hashtbl.t;  (* tids removed by recovery *)
+  pool : Subthread.pool;  (* recycled sub-thread records (saved + undo) *)
+  cur_sub : Subthread.t option Tidtab.t;  (* tid -> current sub-thread *)
+  pending_delay : int Tidtab.t;  (* tid -> cycles owed at next dispatch *)
+  queued : bool Tidtab.t;
+  destroyed : bool Tidtab.t;  (* tids removed by recovery *)
   mutable recovering : bool;
   mutable restart_pending : int list;  (* tids to release at Recovery_done *)
   mutable interrupted : (int * int) list;  (* Basic: (ctx, busy_until) to resume *)
@@ -87,7 +88,7 @@ let fault_horizon eng =
 (* Sub-thread bookkeeping                                              *)
 (* ------------------------------------------------------------------ *)
 
-let cur_sub_opt eng tid = Hashtbl.find_opt eng.cur_sub tid
+let cur_sub_opt eng tid = Tidtab.get eng.cur_sub tid
 
 let cur_sub eng tid =
   match cur_sub_opt eng tid with
@@ -105,17 +106,15 @@ let new_sub eng (tcb : Vm.Tcb.t) =
   let id = eng.next_sub_id in
   eng.next_sub_id <- id + 1;
   let sub =
-    Subthread.make ~id ~tid:tcb.Vm.Tcb.tid ~now:(now eng)
-      ~saved:(Vm.Tcb.copy_state tcb)
+    Subthread.acquire eng.pool ~id ~tid:tcb.Vm.Tcb.tid ~now:(now eng) ~tcb
   in
   (* The checkpoint may sit inside critical sections: record the held
-     mutexes so a restore re-grants them. A checkpoint taken while queued
-     for a mutex (a condvar wake-sub) records that too. *)
-  Array.iteri
-    (fun m (mu : Exec.State.mutex) ->
-      if mu.Exec.State.holder = Some tcb.Vm.Tcb.tid then
-        sub.Subthread.held_locks <- m :: sub.Subthread.held_locks)
-    eng.st.Exec.State.mutexes;
+     mutexes so a restore re-grants them. The TCB maintains its held set
+     incrementally at every holder transition (descending index order,
+     matching the old whole-table scan), so capture is aliasing the
+     list — O(1), no per-boundary O(#mutexes) walk. A checkpoint taken
+     while queued for a mutex (a condvar wake-sub) records that too. *)
+  sub.Subthread.held_locks <- tcb.Vm.Tcb.held_mutexes;
   (match tcb.Vm.Tcb.wait with
   | Vm.Tcb.On_mutex m -> sub.Subthread.pending_mutex <- Some m
   | Vm.Tcb.Runnable | Vm.Tcb.On_cond _ | Vm.Tcb.Reacquire _ | Vm.Tcb.On_barrier _
@@ -123,20 +122,29 @@ let new_sub eng (tcb : Vm.Tcb.t) =
     ());
   Rol.insert eng.rol sub;
   ignore (Wal.append eng.wal ~order:id (Wal.Rol_insert { sub = id }));
-  Hashtbl.replace eng.cur_sub tcb.Vm.Tcb.tid sub;
+  Tidtab.set eng.cur_sub tcb.Vm.Tcb.tid (Some sub);
   Sim.Stats.incr eng.st.Exec.State.stats "gprs.subthreads";
   sub
 
+(* Drop a record back into the pool once nothing can reach it: clear the
+   current-sub slot if it still points here (a thread's last sub survives
+   its exit in the table) and the undo hook if it was left armed. *)
+let release_sub eng (sub : Subthread.t) =
+  (match Tidtab.get eng.cur_sub sub.Subthread.tid with
+  | Some s when s == sub -> Tidtab.set eng.cur_sub sub.Subthread.tid None
+  | Some _ | None -> ());
+  (match eng.st.Exec.State.current_undo with
+  | Some u when u == sub.Subthread.undo -> eng.st.Exec.State.current_undo <- None
+  | Some _ | None -> ());
+  Subthread.release eng.pool sub
+
 let add_delay eng tid d =
-  let cur = Option.value ~default:0 (Hashtbl.find_opt eng.pending_delay tid) in
-  Hashtbl.replace eng.pending_delay tid (cur + d)
+  Tidtab.set eng.pending_delay tid (Tidtab.get eng.pending_delay tid + d)
 
 let take_delay eng tid =
-  match Hashtbl.find_opt eng.pending_delay tid with
-  | None -> 0
-  | Some d ->
-    Hashtbl.remove eng.pending_delay tid;
-    d
+  let d = Tidtab.get eng.pending_delay tid in
+  if d <> 0 then Tidtab.set eng.pending_delay tid 0;
+  d
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
@@ -145,13 +153,15 @@ let take_delay eng tid =
 let on_ctx eng tid = Array.exists (fun o -> o = Some tid) eng.ctx_of
 
 let make_runnable eng ~ctx_hint tid =
-  let queued = Hashtbl.mem eng.queued tid
+  let queued = Tidtab.get eng.queued tid
   and on_c = on_ctx eng tid
-  and destroyed = Hashtbl.mem eng.destroyed tid in
+  and destroyed = Tidtab.get eng.destroyed tid in
   Sim.Trace.recordf eng.st.Exec.State.trace (now eng)
     "make_runnable %d queued=%b on_ctx=%b destroyed=%b" tid queued on_c destroyed;
   if (not queued) && (not on_c) && not destroyed then begin
-    Hashtbl.add eng.queued tid ();
+    (* A flag, not a Hashtbl.add: a re-add after a missed remove cannot
+       shadow-stack bindings. *)
+    Tidtab.set eng.queued tid true;
     Sched.Scheduler.enqueue eng.sched ~ctx_hint tid
   end
 
@@ -626,8 +636,8 @@ and fill eng ctx =
     match Sched.Scheduler.take eng.sched ~ctx with
     | None -> ()
     | Some (tid, stolen) ->
-      Hashtbl.remove eng.queued tid;
-      if Hashtbl.mem eng.destroyed tid then fill eng ctx
+      Tidtab.set eng.queued tid false;
+      if Tidtab.get eng.destroyed tid then fill eng ctx
       else begin
         let tcb = Exec.State.thread eng.st tid in
         Sim.Trace.recordf eng.st.Exec.State.trace (now eng) "fill ctx=%d tid=%d wait=%s"
@@ -667,7 +677,10 @@ let retire eng =
           (fun (a, size) ->
             if Vm.Mem.block_size st.Exec.State.mem a = Some size then
               Vm.Mem.free st.Exec.State.mem a)
-          sub.Subthread.freed_blocks)
+          sub.Subthread.freed_blocks;
+        (* Retirement drops the last internal reference (the ROL slot);
+           the record can go back to the pool. *)
+        release_sub eng sub)
       retired;
     (match Rol.min_live_id eng.rol with
     | Some min_id ->
@@ -703,30 +716,37 @@ let compute_squash_set eng (victim : Subthread.t) =
     List.iter
       (fun t -> Hashtbl.replace forked_tids t ())
       victim.Subthread.forked;
+    (* Accumulated union of the squashed alias sets: each younger
+       sub-thread is tested against it with one word-wise intersection,
+       equivalent to List.exists shares_alias over the squashed list
+       (union distributes over the existential intersection). *)
+    let aset = Subthread.aset_create () in
+    Subthread.aset_add aset victim;
     Rol.iter_younger eng.rol ~than:victim.Subthread.id (fun (s : Subthread.t) ->
         let dependent =
           Hashtbl.mem squashed_tids s.Subthread.tid
           || Hashtbl.mem forked_tids s.Subthread.tid
-          || List.exists (fun u -> Subthread.shares_alias u s) !squashed
+          || Subthread.aset_shares aset s
         in
         if dependent then begin
           squashed := s :: !squashed;
           Hashtbl.replace squashed_tids s.Subthread.tid ();
-          List.iter (fun t -> Hashtbl.replace forked_tids t ()) s.Subthread.forked
+          List.iter (fun t -> Hashtbl.replace forked_tids t ()) s.Subthread.forked;
+          Subthread.aset_add aset s
         end);
     List.rev !squashed
 
 let destroy_thread eng tid =
-  if not (Hashtbl.mem eng.destroyed tid) then begin
-    Hashtbl.add eng.destroyed tid ();
+  if not (Tidtab.get eng.destroyed tid) then begin
+    Tidtab.set eng.destroyed tid true;
     let tcb = Exec.State.thread eng.st tid in
     if tcb.Vm.Tcb.wait <> Vm.Tcb.Done then
       eng.st.Exec.State.live_threads <- eng.st.Exec.State.live_threads - 1;
     tcb.Vm.Tcb.wait <- Vm.Tcb.Done;
     Order.remove_thread eng.order tid;
-    Hashtbl.remove eng.cur_sub tid;
+    Tidtab.set eng.cur_sub tid None;
     ignore (Sched.Scheduler.remove eng.sched tid);
-    Hashtbl.remove eng.queued tid;
+    Tidtab.set eng.queued tid false;
     Sim.Stats.incr eng.st.Exec.State.stats "gprs.threads_destroyed"
   end
 
@@ -820,9 +840,9 @@ let recover eng (victim : Subthread.t) =
     (Wal.entries_for eng.wal ~orders:in_squash);
   ignore (Wal.drop_for eng.wal ~orders:in_squash);
   (* Clean synchronization-object state touched by squashed work. *)
-  let affected tid = Hashtbl.mem oldest tid && not (Hashtbl.mem eng.destroyed tid) in
+  let affected tid = Hashtbl.mem oldest tid && not (Tidtab.get eng.destroyed tid) in
   let squashed_or_destroyed tid =
-    Hashtbl.mem oldest tid || Hashtbl.mem eng.destroyed tid
+    Hashtbl.mem oldest tid || Tidtab.get eng.destroyed tid
   in
   Array.iteri
     (fun mi (mu : Exec.State.mutex) ->
@@ -832,9 +852,9 @@ let recover eng (victim : Subthread.t) =
              && List.exists
                   (fun (s : Subthread.t) ->
                     s.Subthread.tid = h
-                    && List.mem (Subthread.Mutex mi) s.Subthread.aliases)
+                    && Subthread.mem_alias s (Subthread.Mutex mi))
                   squash ->
-        mu.Exec.State.holder <- None
+        Exec.State.set_holder st mi None
       | Some _ | None -> ());
       mu.Exec.State.mwaiters <-
         Exec.Fifo.filter (fun w -> not (squashed_or_destroyed w)) mu.Exec.State.mwaiters)
@@ -874,7 +894,7 @@ let recover eng (victim : Subthread.t) =
           (fun m ->
             let mu = st.Exec.State.mutexes.(m) in
             match mu.Exec.State.holder with
-            | None -> mu.Exec.State.holder <- Some tid
+            | None -> Exec.State.set_holder st m (Some tid)
             | Some h when h = tid -> ()
             | Some _ ->
               Sim.Stats.incr st.Exec.State.stats "gprs.regrant_waits";
@@ -888,7 +908,7 @@ let recover eng (victim : Subthread.t) =
         | Some m ->
           let mu = st.Exec.State.mutexes.(m) in
           (match mu.Exec.State.holder with
-          | None -> mu.Exec.State.holder <- Some tid
+          | None -> Exec.State.set_holder st m (Some tid)
           | Some h when h = tid -> ()
           | Some _ ->
             mu.Exec.State.mwaiters <- Exec.Fifo.push mu.Exec.State.mwaiters tid;
@@ -898,10 +918,10 @@ let recover eng (victim : Subthread.t) =
            re-exits. Duplicate registrations from re-executed joins are
            harmless (wakes are idempotent). *)
         Order.set_eligible eng.order tid true;
-        Hashtbl.remove eng.cur_sub tid;
+        Tidtab.set eng.cur_sub tid None;
         ignore (Sched.Scheduler.remove eng.sched tid);
-        Hashtbl.remove eng.queued tid;
-        Hashtbl.remove eng.pending_delay tid;
+        Tidtab.set eng.queued tid false;
+        Tidtab.set eng.pending_delay tid 0;
         (* The replacement sub-thread is created lazily at the thread's
            next dispatch (non-sync restart points) or at its next token
            grant (sync restart points). *)
@@ -915,11 +935,11 @@ let recover eng (victim : Subthread.t) =
     oldest;
   (* Stranded waiters: a second recovery can release a mutex whose queue
      still holds threads reset by an earlier one — hand it to the head. *)
-  Array.iter
-    (fun (mu : Exec.State.mutex) ->
+  Array.iteri
+    (fun mi (mu : Exec.State.mutex) ->
       match (mu.Exec.State.holder, Exec.Fifo.pop mu.Exec.State.mwaiters) with
       | None, Some (w, rest) ->
-        mu.Exec.State.holder <- Some w;
+        Exec.State.set_holder st mi (Some w);
         mu.Exec.State.mwaiters <- rest;
         let wt = Exec.State.thread st w in
         wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
@@ -936,6 +956,9 @@ let recover eng (victim : Subthread.t) =
   in
   Sim.Stats.add st.Exec.State.stats "gprs.restored_words" !words;
   Sim.Stats.add st.Exec.State.stats "gprs.wal_undone" !wal_undone;
+  (* Every squashed record is now unreachable (out of the ROL, current-sub
+     table entries cleared, checkpoints consumed): recycle them. *)
+  List.iter (fun s -> release_sub eng s) squash;
   eng.recovering <- true;
   eng.restart_pending <- List.sort compare !restarts;
   ignore
@@ -1050,6 +1073,20 @@ let finalize eng ~dnc =
   let st = eng.st in
   Sim.Stats.set_max st.Exec.State.stats "gprs.rol_depth" (Rol.max_size eng.rol);
   Sim.Stats.set_max st.Exec.State.stats "wal.high_water" (Wal.high_water eng.wal);
+  (* Pool effectiveness counters are host-side observations, recorded only
+     under --profile so run stats stay identical across pooled/unpooled
+     (and fused/unfused) legs. *)
+  if !Vm.Block.profiling then begin
+    let hits, misses, live_hw = Subthread.pool_stats eng.pool in
+    Sim.Stats.add st.Exec.State.stats "pool.sub.hits" hits;
+    Sim.Stats.add st.Exec.State.stats "pool.sub.misses" misses;
+    Sim.Stats.set_max st.Exec.State.stats "pool.sub.live_hw" live_hw;
+    let cells_alloc, cells_recycled =
+      Sim.Event_queue.cell_stats st.Exec.State.evq
+    in
+    Sim.Stats.add st.Exec.State.stats "pool.evq.cells_alloc" cells_alloc;
+    Sim.Stats.add st.Exec.State.stats "pool.evq.cells_recycled" cells_recycled
+  end;
   if dnc && Sys.getenv_opt "GPRS_DEBUG" <> None then begin
     Format.eprintf "=== GPRS wedge dump (t=%d) ===@." (now eng);
     Format.eprintf "holder=%s recovering=%b sched_len=%d@."
@@ -1063,7 +1100,7 @@ let finalize eng ~dnc =
       Format.eprintf "tid=%d wait=%a eligible=%b on_ctx=%b queued=%b sub=%s@." tid
         Vm.Tcb.pp_wait tcb.Vm.Tcb.wait
         (Order.is_eligible eng.order tid)
-        (on_ctx eng tid) (Hashtbl.mem eng.queued tid)
+        (on_ctx eng tid) (Tidtab.get eng.queued tid)
         (match cur_sub_opt eng tid with
         | Some s -> Format.asprintf "%a" Subthread.pp s
         | None -> "-")
@@ -1113,10 +1150,11 @@ let run ?(lint = `Warn) cfg program =
       rol = Rol.create ();
       wal = Wal.create ();
       next_sub_id = 0;
-      cur_sub = Hashtbl.create 64;
-      pending_delay = Hashtbl.create 64;
-      queued = Hashtbl.create 64;
-      destroyed = Hashtbl.create 16;
+      pool = Subthread.pool_create ();
+      cur_sub = Tidtab.create None;
+      pending_delay = Tidtab.create 0;
+      queued = Tidtab.create false;
+      destroyed = Tidtab.create false;
       recovering = false;
       restart_pending = [];
       interrupted = [];

@@ -12,9 +12,19 @@
       barriers and thread join/exit edges. Aliases drive selective
       restart's dependent walk ("ones that acquired the same lock(s) or
       used the same atomic variable as the excepting sub-thread").
+      Aliases are encoded as small-int codes in a growable bitset, so
+      {!add_alias} is idempotent O(1) and {!shares_alias} a word-wise
+      intersection test.
 
     The [id] doubles as the sub-thread's position in the deterministic
-    total order: ids are allocated in token-grant order. *)
+    total order: ids are allocated in token-grant order.
+
+    Sub-thread records (with their [saved] register buffer and undo log)
+    are pooled: {!acquire} recycles a record retired or squashed earlier
+    in the run instead of heap-allocating one per boundary — the host-side
+    analogue of keeping the paper's per-boundary generation cost t_g
+    small. GPRS_NO_POOL=1 (or {!set_pooling}[ false]) restores the
+    allocating path; both paths are observationally identical. *)
 
 type alias =
   | Mutex of int
@@ -29,11 +39,14 @@ type status =
   | Squashed  (** discarded by recovery *)
 
 type t = {
-  id : int;  (** creation sequence = position in the total order *)
-  tid : int;
-  started_at : int;
+  mutable id : int;  (** creation sequence = position in the total order *)
+  mutable tid : int;
+  mutable started_at : int;
   mutable status : status;
-  mutable aliases : alias list;  (** newest first; duplicates allowed *)
+  mutable alias_bits : int array;
+      (** bitset over {!alias_code}s, 32 codes per word; use
+          {!add_alias}/{!mem_alias}/{!shares_alias}, not the raw words *)
+  mutable alias_words : int;  (** words of [alias_bits] in use *)
   mutable global_dep : bool;
       (** conservative ⊤-alias: opaque calls and non-standard sync outside
           CPR regions conflict with every younger sub-thread *)
@@ -42,8 +55,8 @@ type t = {
   mutable held_locks : int list;
       (** mutexes the thread held when this sub-thread's checkpoint was
           taken (a checkpoint can sit inside a critical section — e.g. a
-          cond_wait boundary). Restoring the checkpoint must re-grant
-          them, not release them. *)
+          cond_wait boundary), sorted by descending index. Restoring the
+          checkpoint must re-grant them, not release them. *)
   undo : Exec.Undo_log.t;
   mutable forked : int list;  (** tids of threads this sub-thread created *)
   mutable pending_mutex : int option;
@@ -59,17 +72,69 @@ type t = {
 }
 
 val make : id:int -> tid:int -> now:int -> saved:Vm.Tcb.saved -> t
+(** A fresh, unpooled record (tests and the pool-miss path). *)
 
 val add_alias : t -> alias -> unit
-(** Prepends unless already the most recent entry (cheap dedup for tight
-    loops on one object). *)
+(** Idempotent constant-time insert. *)
+
+val mem_alias : t -> alias -> bool
 
 val shares_alias : t -> t -> bool
 (** True when the alias sets intersect, or either side is [global_dep]. *)
 
+val aliases : t -> alias list
+(** Decoded alias set in ascending code order, for display/tests. *)
+
+val clear_aliases : t -> unit
+
 val is_complete : t -> bool
 
 val completion_time : t -> int option
+
+(** {1 Accumulated alias sets}
+
+    The selective-squash walk tests each younger sub-thread against the
+    union of every already-squashed alias set; folding the union into one
+    accumulator makes each test O(words) instead of O(squashed x words). *)
+
+type aset
+
+val aset_create : unit -> aset
+
+val aset_add : aset -> t -> unit
+(** Union [sub]'s aliases (and its [global_dep] flag) into the set. *)
+
+val aset_shares : aset -> t -> bool
+(** Equivalent to [List.exists (fun u -> shares_alias u s) added], where
+    [added] are the sub-threads folded in so far (assuming at least one). *)
+
+(** {1 Pooling} *)
+
+val pooling : unit -> bool
+val set_pooling : bool -> unit
+
+type pool
+(** Per-engine-run free list of sub-thread records. Never shared across
+    runs: register/barrier buffer shapes are per-program. *)
+
+val pool_create : unit -> pool
+
+val acquire :
+  pool -> id:int -> tid:int -> now:int -> tcb:Vm.Tcb.t -> t
+(** A [Running] sub-thread whose [saved] snapshot is captured from [tcb];
+    recycles a released record when pooling is on (blitting into its
+    existing buffers), else allocates. *)
+
+val release : pool -> t -> unit
+(** Return a retired or squashed record to the pool. The record is
+    scrubbed immediately — alias bits, undo log, freed blocks, fork and
+    lock lists — so no squashed state can survive into its next life.
+    The caller must have dropped every external reference (ROL slot,
+    current-sub table, [current_undo]). *)
+
+val pool_stats : pool -> int * int * int
+(** [(hits, misses, live high-water)] — recycled vs allocated acquires
+    and the peak number of simultaneously outstanding records. *)
 
 val pp_alias : Format.formatter -> alias -> unit
 

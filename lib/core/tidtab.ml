@@ -1,0 +1,26 @@
+(* Tids are dense and allocated monotonically from 0, so the engine's
+   per-tid maps are plain growable arrays: get/set are O(1) with no
+   hashing and no per-binding allocation (the Hashtbls they replace
+   allocated a bucket cell per insert on the boundary hot path). *)
+
+type 'a t = { mutable buf : 'a array; default : 'a }
+
+let create ?(capacity = 64) default =
+  { buf = Array.make (Stdlib.max 1 capacity) default; default }
+
+let ensure t n =
+  if n >= Array.length t.buf then begin
+    let cap = ref (2 * Array.length t.buf) in
+    while n >= !cap do
+      cap := !cap * 2
+    done;
+    let buf = Array.make !cap t.default in
+    Array.blit t.buf 0 buf 0 (Array.length t.buf);
+    t.buf <- buf
+  end
+
+let get t i = if i < Array.length t.buf then t.buf.(i) else t.default
+
+let set t i v =
+  ensure t i;
+  t.buf.(i) <- v

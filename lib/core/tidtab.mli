@@ -1,0 +1,16 @@
+(** Growable tid-indexed tables.
+
+    Dense per-thread maps for the engine hot path: tids are allocated
+    monotonically from 0, so an array indexed by tid replaces the
+    per-tid Hashtbls (current sub-thread, pending delay, queued and
+    destroyed flags) with allocation-free O(1) access. Reads of an
+    index never written return the default; writes grow the table. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create default] — every index initially maps to [default]. *)
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit

@@ -156,11 +156,19 @@ let restore_snapshot eng snap =
     Array.blit snap.barrier_done.(i) 0 tcb.Vm.Tcb.barrier_done 0
       (Array.length tcb.Vm.Tcb.barrier_done)
   done;
+  (* The holder map is restored wholesale, so rebuild the TCBs'
+     incremental held-mutex sets rather than replaying transitions. *)
+  for i = 0 to snap.n_threads - 1 do
+    st.Exec.State.threads.(i).Vm.Tcb.held_mutexes <- []
+  done;
   Array.iteri
     (fun i (holder, waiters) ->
       let m = st.Exec.State.mutexes.(i) in
       m.Exec.State.holder <- holder;
-      m.Exec.State.mwaiters <- waiters)
+      m.Exec.State.mwaiters <- waiters;
+      match holder with
+      | Some h -> Vm.Tcb.hold st.Exec.State.threads.(h) i
+      | None -> ())
     snap.mutex_state;
   Array.iteri
     (fun i sleepers -> st.Exec.State.conds.(i).Exec.State.sleepers <- sleepers)

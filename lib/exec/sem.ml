@@ -13,7 +13,7 @@ let try_lock st (tcb : Vm.Tcb.t) m =
   let mu = st.State.mutexes.(m) in
   match mu.State.holder with
   | None ->
-    mu.State.holder <- Some tcb.Vm.Tcb.tid;
+    State.set_holder st m (Some tcb.Vm.Tcb.tid);
     (true, dur costs.Vm.Costs.lock 0)
   | Some h when h = tcb.Vm.Tcb.tid ->
     invalid_arg "Sem.try_lock: recursive acquisition (workload bug)"
@@ -26,11 +26,11 @@ let grant_next st m =
   let mu = st.State.mutexes.(m) in
   match Fifo.pop mu.State.mwaiters with
   | None ->
-    mu.State.holder <- None;
+    State.set_holder st m None;
     None
   | Some (w, rest) ->
     mu.State.mwaiters <- rest;
-    mu.State.holder <- Some w;
+    State.set_holder st m (Some w);
     let wt = State.thread st w in
     wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
     Some w
@@ -60,7 +60,7 @@ let reacquire st w m =
   let wt = State.thread st w in
   match mu.State.holder with
   | None ->
-    mu.State.holder <- Some w;
+    State.set_holder st m (Some w);
     wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
     true
   | Some _ ->

@@ -104,6 +104,20 @@ let spawn t ~group ~proc ~args =
   Sim.Stats.incr t.stats "threads.created";
   tcb
 
+(* Every holder transition goes through here so each TCB's incremental
+   held-mutex set ({!Vm.Tcb.held_mutexes}) stays consistent with the
+   mutex table — GPRS checkpoints read it instead of scanning all
+   mutexes at every sub-thread boundary. *)
+let set_holder t m newh =
+  let mu = t.mutexes.(m) in
+  (match mu.holder with
+  | Some h when Some h <> newh -> Vm.Tcb.unhold (thread t h) m
+  | Some _ | None -> ());
+  (match newh with
+  | Some h when mu.holder <> newh -> Vm.Tcb.hold (thread t h) m
+  | Some _ | None -> ());
+  mu.holder <- newh
+
 let note_undo t key ~old =
   match t.current_undo with
   | None -> ()

@@ -58,6 +58,12 @@ val spawn :
 (** Allocate a tid and TCB for a forked thread (caller decides when it
     becomes runnable). *)
 
+val set_holder : 'ev t -> int -> int option -> unit
+(** Transition mutex [m]'s holder, keeping each TCB's incremental
+    {!Vm.Tcb.held_mutexes} set in sync. All executor and recovery paths
+    that change a holder must go through this (or rebuild the held sets
+    wholesale, as the CPR snapshot restore does). *)
+
 val env_of : 'ev t -> Vm.Tcb.t -> Vm.Env.t
 (** Tracked environment for the thread: reads/writes charge
     {!Vm.Costs.t.mem_access} into [acc_cost] and route pre-images into

@@ -37,6 +37,13 @@ let note t key ~old =
     else false
   | _ -> note_entry t key ~old
 
+let reset t =
+  t.entries <- [];
+  (* [clear], not [reset]: keep the bucket array so a recycled log does
+     not re-pay the growth allocations of its previous life. *)
+  Hashtbl.clear t.seen;
+  t.mem_touches <- 0
+
 let size t = t.mem_touches + Hashtbl.length t.seen
 let is_empty t = t.mem_touches = 0 && t.entries = []
 

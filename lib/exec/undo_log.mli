@@ -29,6 +29,12 @@ val create : ?paged:Vm.Mem.t -> unit -> t
     dirty epochs: open a fresh log exactly when an epoch is advanced by
     {!Vm.Mem.capture}/{!Vm.Mem.restore_image}. *)
 
+val reset : t -> unit
+(** Drop every recorded pre-image, leaving the log as fresh as
+    {!create} while keeping its internal capacity. Used when a pooled
+    sub-thread recycles its log: a recycled log must carry nothing from
+    its previous life. *)
+
 val note : t -> key -> old:int -> bool
 (** Record the pre-image of [key] unless this log already holds one.
     Returns [true] when the entry was recorded (a "first write"), which is

@@ -1,13 +1,17 @@
 type 'a cell = {
-  time : Time.cycles;
-  prio : int;
-  seq : int;
-  payload : 'a;
+  mutable time : Time.cycles;
+  mutable prio : int;
+  mutable seq : int;
+  mutable payload : 'a;
   mutable cancelled : bool;
   mutable fired : bool;
+  (* Bumped when the cell is recycled; a handle carries the generation it
+     was issued for, so a stale handle to a reused cell cannot cancel the
+     cell's new occupant. *)
+  mutable gen : int;
 }
 
-type handle = H : 'a cell -> handle
+type handle = H : 'a cell * int -> handle
 
 type 'a t = {
   mutable heap : 'a cell array;
@@ -16,9 +20,37 @@ type 'a t = {
   mutable next_seq : int;
   mutable live : int;
   mutable clock : Time.cycles;
+  (* Popped (fired) cells are recycled through a small free list instead
+     of re-allocating one record per event. Invisible to pop order: a
+     reused cell is fully re-initialized at [schedule]. *)
+  mutable free : 'a cell list;
+  mutable n_free : int;
+  mutable cells_alloc : int;
+  mutable cells_recycled : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; live = 0; clock = Time.zero }
+(* Recycling shares the pooled-hot-path kill switch with the sub-thread
+   pool: GPRS_NO_POOL=1 restores the allocating behaviour everywhere. *)
+let recycle_enabled = ref (Sys.getenv_opt "GPRS_NO_POOL" = None)
+let recycling () = !recycle_enabled
+let set_recycling b = recycle_enabled := b
+
+let max_free = 64
+
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    next_seq = 0;
+    live = 0;
+    clock = Time.zero;
+    free = [];
+    n_free = 0;
+    cells_alloc = 0;
+    cells_recycled = 0;
+  }
+
+let cell_stats q = (q.cells_alloc, q.cells_recycled)
 
 let is_empty q = q.live = 0
 let length q = q.live
@@ -56,7 +88,29 @@ let rec sift_down q i =
 let schedule ?(prio = 0) q ~time payload =
   assert (time >= q.clock);
   let cell =
-    { time; prio; seq = q.next_seq; payload; cancelled = false; fired = false }
+    match q.free with
+    | c :: rest ->
+      q.free <- rest;
+      q.n_free <- q.n_free - 1;
+      q.cells_recycled <- q.cells_recycled + 1;
+      c.time <- time;
+      c.prio <- prio;
+      c.seq <- q.next_seq;
+      c.payload <- payload;
+      c.cancelled <- false;
+      c.fired <- false;
+      c
+    | [] ->
+      q.cells_alloc <- q.cells_alloc + 1;
+      {
+        time;
+        prio;
+        seq = q.next_seq;
+        payload;
+        cancelled = false;
+        fired = false;
+        gen = 0;
+      }
   in
   q.next_seq <- q.next_seq + 1;
   if q.size = Array.length q.heap then begin
@@ -69,7 +123,7 @@ let schedule ?(prio = 0) q ~time payload =
   q.size <- q.size + 1;
   q.live <- q.live + 1;
   sift_up q (q.size - 1);
-  H cell
+  H (cell, cell.gen)
 
 let heap_size q = q.size
 
@@ -90,8 +144,8 @@ let compact q =
     sift_down q i
   done
 
-let cancel q (H cell) =
-  if not cell.cancelled && not cell.fired then begin
+let cancel q (H (cell, gen)) =
+  if gen = cell.gen && (not cell.cancelled) && not cell.fired then begin
     cell.cancelled <- true;
     q.live <- q.live - 1;
     (* Long fault-injection sweeps cancel timers far faster than lazy
@@ -119,7 +173,14 @@ let rec pop q =
       top.fired <- true;
       q.live <- q.live - 1;
       q.clock <- top.time;
-      Some (top.time, top.payload)
+      let r = Some (top.time, top.payload) in
+      if !recycle_enabled && q.n_free < max_free then begin
+        (* Invalidate outstanding handles, then park the record. *)
+        top.gen <- top.gen + 1;
+        q.free <- top :: q.free;
+        q.n_free <- q.n_free + 1
+      end;
+      r
     end
   end
 

@@ -43,6 +43,19 @@ val heap_size : 'a t -> int
     cells; [length q <= heap_size q] always. For tests and
     diagnostics. *)
 
+val recycling : unit -> bool
+(** Whether popped cells are recycled through the per-queue free list
+    (module-wide switch; defaults to on unless GPRS_NO_POOL is set).
+    Recycling is invisible to pop order and to cancellation: a reused
+    cell is fully re-initialized, and handles are generation-stamped so
+    a stale handle can never cancel the cell's new occupant. *)
+
+val set_recycling : bool -> unit
+
+val cell_stats : 'a t -> int * int
+(** [(allocated, recycled)] cell counts for this queue: how many
+    [schedule] calls built a fresh record vs reused a popped one. *)
+
 val pop : 'a t -> (Time.cycles * 'a) option
 (** Removes and returns the earliest live event. [None] when empty. *)
 

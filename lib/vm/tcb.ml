@@ -18,15 +18,16 @@ type t = {
   mutable joiners : int list;
   mutable in_cpr_region : bool;
   mutable lock_depth : int;
+  mutable held_mutexes : int list;
   barrier_seq : int array;
   barrier_done : int array;
 }
 
 type saved = {
-  s_pc : int;
+  mutable s_pc : int;
   s_regs : int array;
-  s_in_cpr : bool;
-  s_lock_depth : int;
+  mutable s_in_cpr : bool;
+  mutable s_lock_depth : int;
   s_barrier_seq : int array;
 }
 
@@ -43,6 +44,7 @@ let create ~n_barriers ~tid ~group ~proc ~args =
     joiners = [];
     in_cpr_region = false;
     lock_depth = 0;
+    held_mutexes = [];
     barrier_seq = Array.make n_barriers 0;
     barrier_done = Array.make n_barriers 0;
   }
@@ -60,6 +62,32 @@ let copy_state t =
     s_lock_depth = t.lock_depth;
     s_barrier_seq = Array.copy t.barrier_seq;
   }
+
+let copy_state_into t s =
+  s.s_pc <- t.pc;
+  Array.blit t.regs 0 s.s_regs 0 (Array.length t.regs);
+  s.s_in_cpr <- t.in_cpr_region;
+  s.s_lock_depth <- t.lock_depth;
+  Array.blit t.barrier_seq 0 s.s_barrier_seq 0 (Array.length t.barrier_seq)
+
+(* The held set is kept sorted by descending mutex index — the order the
+   old O(#mutexes) table scan produced — so checkpoint capture can alias
+   the list and restore re-grants mutexes in the identical order. *)
+let hold t m =
+  let rec ins = function
+    | [] -> [ m ]
+    | x :: _ as l when x < m -> m :: l
+    | x :: r when x > m -> x :: ins r
+    | l -> l (* already held: holder maps are single-owner, keep idempotent *)
+  in
+  t.held_mutexes <- ins t.held_mutexes
+
+let unhold t m =
+  let rec rm = function
+    | [] -> []
+    | x :: r -> if x = m then r else x :: rm r
+  in
+  t.held_mutexes <- rm t.held_mutexes
 
 let restore_state t s =
   t.pc <- s.s_pc;

@@ -26,6 +26,12 @@ type t = {
   mutable joiners : int list;  (** tids blocked in [Join] on this thread *)
   mutable in_cpr_region : bool;  (** between [Cpr_begin] and [Cpr_end] *)
   mutable lock_depth : int;  (** nested critical-section depth (flattening) *)
+  mutable held_mutexes : int list;
+      (** mutexes this thread currently holds, sorted by descending index.
+          Maintained incrementally by {!hold}/{!unhold} at every holder
+          transition (the executors' lock/unlock/hand-off paths) so that
+          sub-thread checkpoints capture the held set in O(#held) instead
+          of scanning the whole mutex table. *)
   barrier_seq : int array;
       (** per-barrier count of arrivals this thread has {e executed};
           restartable state (rolled back with checkpoints) *)
@@ -51,7 +57,18 @@ val current_instr : t -> Isa.instr option
 
 val copy_state : t -> saved
 
+val copy_state_into : t -> saved -> unit
+(** Overwrite a recycled snapshot in place (no allocation). The snapshot
+    must come from a thread of the same program — register and barrier
+    array lengths are fixed per program, so the blits are total. *)
+
 val restore_state : t -> saved -> unit
+
+val hold : t -> int -> unit
+(** Record that this thread now holds mutex [m] (idempotent). *)
+
+val unhold : t -> int -> unit
+(** Record that this thread released mutex [m]. *)
 
 val saved_words : saved -> int
 (** Size of the snapshot in words, for checkpoint-cost accounting. *)

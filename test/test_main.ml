@@ -16,5 +16,6 @@ let () =
       ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
       ("fusion", Test_fusion.suite);
+      ("pool", Test_pool.suite);
       ("properties", Props.suite);
     ]
