@@ -9,10 +9,15 @@ other. A measurement fails the run (exit 1) only when it exceeds BOTH
 gates: more than F x its baseline (default 1.5 — fused dispatch bought
 enough headroom to gate the ratio tightly) AND more than an absolute
 slack above it (default 0.25 s for experiment wall-clock, 500 ns for
-micro ns/run, 2M words for alloc minor_words). The alloc section gates
-GC minor words per run — the pooled boundary path must stay
-allocation-free; promoted_words is reported but never gated (it wobbles
-with minor-heap phase).
+micro ns/run, 2M words for alloc minor_words, 500 us for mean cold
+recovery). The alloc section gates GC minor words per run — the pooled
+boundary path must stay allocation-free; promoted_words is reported but
+never gated (it wobbles with minor-heap phase). The recovery section
+gates mean host seconds per cold recovery over a crashsweep leg —
+means over whole sweeps are stable where a single recovery's wall
+time is not; max_recovery_s and the replayed/redone/squashed counts
+are carried in the JSON for inspection but not gated (the counts are
+deterministic, so a drift shows up as a test failure first).
 The absolute slack exists because fused dispatch shrank the quick
 experiments to tens of milliseconds, where a 1.5x ratio alone is
 scheduler noise, not a regression. Anything between 1x and the gates
@@ -41,7 +46,11 @@ def index(run):
         (a["name"], a["contexts"], round(a["scale"], 4)): a["minor_words"]
         for a in run.get("alloc", [])
     }
-    return exps, micro, alloc
+    recovery = {
+        (r["leg"], r["contexts"], round(r["scale"], 4)): r["mean_recovery_s"]
+        for r in run.get("recovery", [])
+    }
+    return exps, micro, alloc, recovery
 
 
 def compare(kind, base, new, factor, abs_slack):
@@ -80,11 +89,14 @@ def main():
     ap.add_argument("--abs-slack-words", type=float, default=2e6,
                     help="alloc minor_words/run must also regress by more "
                          "than this many words to fail (default 2e6)")
+    ap.add_argument("--abs-slack-recovery-s", type=float, default=500e-6,
+                    help="mean cold-recovery seconds must also regress by "
+                         "more than this to fail (default 500e-6)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
-    base_exps, base_micro, base_alloc = index(base)
-    new_exps, new_micro, new_alloc = index(new)
+    base_exps, base_micro, base_alloc, base_rec = index(base)
+    new_exps, new_micro, new_alloc, new_rec = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
     failures = compare("experiment", base_exps, new_exps, args.factor,
@@ -93,6 +105,8 @@ def main():
                         args.abs_slack_ns)
     failures += compare("alloc", base_alloc, new_alloc, args.factor,
                         args.abs_slack_words)
+    failures += compare("recovery", base_rec, new_rec, args.factor,
+                        args.abs_slack_recovery_s)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

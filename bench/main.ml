@@ -41,6 +41,18 @@ type alloc_entry = {
   a_promoted_words : float;
 }
 
+type recovery_entry = {
+  r_leg : string;
+  r_contexts : int;
+  r_scale : float;
+  r_points : int;
+  r_mean_recovery_s : float;
+  r_max_recovery_s : float;
+  r_replayed_lsns : int;
+  r_redone_ops : int;
+  r_squashed_subs : int;
+}
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's rows/series at bench scale                      *)
 (* ------------------------------------------------------------------ *)
@@ -154,6 +166,78 @@ let alloc_profile ~quick =
     (fun a ->
       Format.fprintf ppf "%-36s %14.0f minor  %12.0f promoted@." a.a_name
         a.a_minor_words a.a_promoted_words)
+    entries;
+  Format.fprintf ppf "@.";
+  entries
+
+(* ------------------------------------------------------------------ *)
+(* Cold-recovery profile: crashsweep legs, host seconds per recovery   *)
+(* ------------------------------------------------------------------ *)
+
+(* The crashsweep's per-leg report already aggregates what we want to
+   track over time: mean/max host wall-clock per cold recovery, redo-scan
+   length, and redone-vs-squashed counts. Quick and full runs use
+   different scales, so the comparator never conflates them; the full
+   run samples its larger log to bound wall time. A failing leg aborts
+   the bench — recording timings for a broken recovery would poison the
+   baseline. *)
+let recovery_profile ~quick =
+  let contexts = 4 in
+  let entries = ref [] in
+  let leg name ~scale ?sample () =
+    let spec = Workloads.Suite.find name in
+    let program =
+      spec.Workloads.Workload.build ~n_contexts:contexts
+        ~grain:Workloads.Workload.Default ~scale
+    in
+    let cfg =
+      {
+        Gprs.Engine.default_config with
+        n_contexts = contexts;
+        seed = 3;
+        ordering = Gprs.Order.Balance_aware;
+      }
+    in
+    let r =
+      Recovery.sweep_gprs ?sample ~sample_seed:3 ~leg:name ~cfg
+        ~digest:spec.Workloads.Workload.digest program
+    in
+    if not (Recovery.leg_ok r) then
+      failwith (Format.asprintf "recovery leg failed: %a" Recovery.pp_report r);
+    entries :=
+      {
+        r_leg = name;
+        r_contexts = contexts;
+        r_scale = scale;
+        r_points = r.Recovery.points_run;
+        r_mean_recovery_s = r.Recovery.mean_recovery_s;
+        r_max_recovery_s = r.Recovery.max_recovery_s;
+        r_replayed_lsns = r.Recovery.replayed_lsns;
+        r_redone_ops = r.Recovery.redone_ops;
+        r_squashed_subs = r.Recovery.squashed_subs;
+      }
+      :: !entries
+  in
+  if quick then begin
+    leg "histogram" ~scale:0.05 ();
+    leg "pbzip2" ~scale:0.02 ()
+  end
+  else begin
+    leg "histogram" ~scale:0.1 ();
+    leg "pbzip2" ~scale:0.05 ~sample:60 ()
+  end;
+  let entries = List.rev !entries in
+  Format.fprintf ppf
+    "=== Cold recovery per crash point (exhaustive/sampled sweep) ===@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-12s %4d pts  mean %8.1f us  max %8.1f us  %6d replayed  %4d \
+         redone  %5d squashed@."
+        r.r_leg r.r_points
+        (1e6 *. r.r_mean_recovery_s)
+        (1e6 *. r.r_max_recovery_s)
+        r.r_replayed_lsns r.r_redone_ops r.r_squashed_subs)
     entries;
   Format.fprintf ppf "@.";
   entries
@@ -353,7 +437,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path ~quick ~jobs ~experiments ~alloc ~micro ~profile =
+let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~micro ~profile =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -378,6 +462,20 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~micro ~profile =
         a.a_promoted_words
         (if i = List.length alloc - 1 then "" else ","))
     alloc;
+  p "  ],\n";
+  p "  \"recovery\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"leg\": \"%s\", \"contexts\": %d, \"scale\": %.4f, \
+         \"points\": %d, \"mean_recovery_s\": %.9f, \"max_recovery_s\": \
+         %.9f, \"replayed_lsns\": %d, \"redone_ops\": %d, \
+         \"squashed_subs\": %d}%s\n"
+        (json_escape r.r_leg) r.r_contexts r.r_scale r.r_points
+        r.r_mean_recovery_s r.r_max_recovery_s r.r_replayed_lsns
+        r.r_redone_ops r.r_squashed_subs
+        (if i = List.length recovery - 1 then "" else ","))
+    recovery;
   p "  ],\n";
   p "  \"micro\": [\n";
   List.iteri
@@ -409,11 +507,13 @@ let main json jobs quick profile =
   in
   let experiments = print_experiments ~jobs ~quick in
   let alloc = alloc_profile ~quick in
+  let recovery = recovery_profile ~quick in
   let prof = if profile then profile_mix ~quick else [] in
   let micro = run_micro ~quick in
   match json with
   | Some path ->
-    write_json path ~quick ~jobs ~experiments ~alloc ~micro ~profile:prof
+    write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~micro
+      ~profile:prof
   | None -> ()
 
 open Cmdliner

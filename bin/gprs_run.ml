@@ -152,6 +152,73 @@ let lint_cmd_run workload contexts scale grain verbose =
   in
   if any_errors then Stdlib.exit 1
 
+(* --- crashsweep subcommand -------------------------------------------- *)
+
+(* Crash-consistency sweep: crash the whole runtime at every WAL-record
+   boundary (or a seeded sample), ARIES-cold-recover, resume, and demand
+   the fault-free digest. A P-CPR leg replays the same crash schedule
+   restarting from its last committed global checkpoint. *)
+let crashsweep_run workload contexts scale seed sample schemes no_pcpr =
+  let spec, program = build_workload workload contexts scale "default" in
+  let digest = spec.Workloads.Workload.digest in
+  let scheme_of = function
+    | "rr" | "round-robin" -> Gprs.Order.Round_robin
+    | "bal" | "balance-aware" -> Gprs.Order.Balance_aware
+    | "wt" | "weighted" -> Gprs.Order.Weighted
+    | other -> failwith (Printf.sprintf "unknown scheme %S" other)
+  in
+  let schemes = String.split_on_char ',' schemes in
+  let sample = if sample <= 0 then None else Some sample in
+  let reports =
+    List.map
+      (fun name ->
+        let cfg =
+          {
+            Gprs.Engine.default_config with
+            n_contexts = contexts;
+            seed;
+            ordering = scheme_of name;
+          }
+        in
+        Recovery.sweep_gprs ?sample ~sample_seed:seed ~leg:("gprs/" ^ name)
+          ~cfg ~digest program)
+      schemes
+  in
+  let reports =
+    if no_pcpr then reports
+    else begin
+      (* The comparison leg crashes P-CPR at the simulated cycles of the
+         first GPRS leg's WAL records — the same crash schedule. *)
+      let cfg =
+        {
+          Gprs.Engine.default_config with
+          n_contexts = contexts;
+          seed;
+          ordering = scheme_of (List.hd schemes);
+        }
+      in
+      let image, _ = Recovery.pilot ~cfg program in
+      let a = Recovery.analyze image in
+      let cycles = List.map snd a.Recovery.points |> List.sort_uniq compare in
+      let cycles =
+        match sample with
+        | Some n when n < List.length cycles ->
+          Recovery.sample_points (Sim.Prng.create seed) n
+            (List.map (fun c -> (c, c)) cycles)
+          |> List.map fst
+        | Some _ | None -> cycles
+      in
+      let ccfg = { Cpr.default_config with Cpr.n_contexts = contexts; seed } in
+      reports
+      @ [ Recovery.sweep_pcpr ~leg:"pcpr" ~cfg:ccfg ~digest
+            ~crash_cycles:cycles program ]
+    end
+  in
+  Format.printf "crashsweep %s (scale %g, %d contexts, seed %d)@." workload
+    scale contexts seed;
+  List.iter (fun r -> Format.printf "%a@." Recovery.pp_report r) reports;
+  if not (List.for_all Recovery.leg_ok reports) then Stdlib.exit 1
+
 (* --- terms ------------------------------------------------------------ *)
 
 let workload =
@@ -234,11 +301,48 @@ let lint_cmd =
       const lint_cmd_run $ lint_workload_pos $ contexts $ scale $ grain
       $ lint_verbose)
 
+let sweep_workload_pos =
+  let doc =
+    Printf.sprintf "Workload to sweep (%s)."
+      (String.concat ", " Workloads.Suite.names)
+  in
+  Arg.(value & pos 0 string "pbzip2" & info [] ~docv:"WORKLOAD" ~doc)
+
+let crash_sample =
+  Arg.(value & opt int 0
+       & info [ "crash-sample" ]
+           ~doc:
+             "Exercise only N seeded-sampled crash points per leg instead \
+              of every WAL-record boundary (0 = exhaustive).")
+
+let sweep_schemes =
+  Arg.(value & opt string "rr,bal,wt"
+       & info [ "schemes" ]
+           ~doc:"Comma-separated GPRS ordering legs: rr, bal, wt.")
+
+let no_pcpr =
+  Arg.(value & flag
+       & info [ "no-pcpr" ] ~doc:"Skip the P-CPR comparison leg.")
+
+let crashsweep_cmd =
+  let doc =
+    "crash the whole runtime at every WAL-record boundary, cold-recover \
+     (ARIES analysis/redo/undo + precise restart), and require the \
+     fault-free digest; exits 1 on any mismatch"
+  in
+  Cmd.v
+    (Cmd.info "crashsweep" ~doc)
+    Term.(
+      const crashsweep_run $ sweep_workload_pos $ contexts $ scale $ seed
+      $ crash_sample $ sweep_schemes $ no_pcpr)
+
 let cmd =
   let doc =
     "run (or statically lint) one workload under pthreads / CPR / GPRS on \
      the simulated machine"
   in
-  Cmd.group ~default:run_term (Cmd.info "gprs_run" ~doc) [ run_cmd; lint_cmd ]
+  Cmd.group ~default:run_term
+    (Cmd.info "gprs_run" ~doc)
+    [ run_cmd; lint_cmd; crashsweep_cmd ]
 
 let () = Stdlib.exit (Cmd.eval cmd)

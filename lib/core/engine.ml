@@ -13,6 +13,15 @@ type config = {
       (** treat [Resource_revocation] exceptions as permanent: the struck
           context is retired from service and the program continues on
           the remaining ones (§3.5's fatal-exception extension) *)
+  wal_stable : bool;
+      (** serialize the WAL to "stable storage" (implied by either crash
+          trigger below; harmless otherwise — appends cost the same
+          simulated cycles either way) *)
+  crash_lsn : int option;
+      (** crash the whole runtime immediately after this WAL record is
+          written (the crash-sweep trigger: one run per record boundary) *)
+  crash_cycle : int option;
+      (** crash the whole runtime at this simulated cycle *)
 }
 
 let default_config =
@@ -26,6 +35,9 @@ let default_config =
     livelock_squashes = 100_000;
     costs = Vm.Costs.default;
     revoke_contexts = false;
+    wal_stable = false;
+    crash_lsn = None;
+    crash_cycle = None;
   }
 
 type victim = V_sub of int | V_runtime
@@ -36,6 +48,7 @@ type event =
   | Fault_occur of { ctx : int; kind : Faults.Injector.kind }
   | Fault_report of { victim : victim; ctx : int; kind : Faults.Injector.kind }
   | Recovery_done
+  | Crash_point  (* [crash_cycle] fired: lose the machine *)
 
 type eng = {
   cfg : config;
@@ -60,6 +73,9 @@ type eng = {
   mutable pending_reports : victim list;
   mutable squashed_since_retire : int;
   mutable injector : Faults.Injector.t;
+  mutable allow_crash : bool;
+      (* cleared by cold restart: a recovered machine swallows further
+         injected [Crash] events so the resumed run reaches its digest *)
   mutable grant_guard : int;  (* re-entrancy depth of try_grant *)
   (* Scheduled times of pending Fault_occur / Fault_report events, sorted
      ascending: the fused-dispatch horizon. A chain must not execute a
@@ -68,9 +84,59 @@ type eng = {
   mutable fault_times : int list;
   budget : int;  (* max_cycles, or max_int *)
   instrs : int ref;  (* cached "instrs" counter *)
+  mutable io_tid : int;  (* thread being dispatched: owner of Io_op appends *)
 }
 
 let now eng = Exec.State.now eng.st
+
+(* ------------------------------------------------------------------ *)
+(* Whole-runtime crashes                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Raised internally at the armed crash point; caught at the outermost
+   run loop, where the durable remains of the machine are captured. *)
+exception Crash_signal
+
+(* What survives a crash of the runtime. Volatile and gone: the scheduler
+   queues, the ROL ring structure, the engine-side per-tid tables, every
+   pending event, per-context assignments. Durable: the serialized WAL,
+   the architectural state in [d_st] (memory words, atomics, file
+   contents, TCBs), the history-buffer checkpoints of the in-flight
+   sub-threads (their [saved] registers and copy-on-write undo logs live
+   on stable storage until replaced, §3.2), the order-enforcer rotation
+   (part of the checkpoint's active-order table), the revoked-context and
+   destroyed-thread maps, and the injector stream position. *)
+type crash_dump = {
+  d_cfg : config;
+  d_st : event Exec.State.t;
+  d_image : string;  (* serialized WAL at the instant of the crash *)
+  d_cycle : int;
+  d_subs : Subthread.t list;  (* in-flight sub-threads, oldest first *)
+  d_destroyed : bool Tidtab.t;
+  d_order : Order.t;
+  d_injector : Faults.Injector.t;
+  d_dead_ctx : bool array;
+}
+
+exception Crashed of crash_dump
+
+let capture eng =
+  let st = eng.st in
+  {
+    d_cfg = eng.cfg;
+    d_st = st;
+    d_image = Option.value ~default:"" (Wal.stable_image eng.wal);
+    d_cycle = now eng;
+    d_subs = Rol.to_list eng.rol;
+    d_destroyed = eng.destroyed;
+    d_order = eng.order;
+    d_injector = eng.injector;
+    d_dead_ctx = eng.dead_ctx;
+  }
+
+let dump_cycle d = d.d_cycle
+let dump_wal_image d = d.d_image
+let dump_active_ids d = List.map (fun (s : Subthread.t) -> s.Subthread.id) d.d_subs
 
 let add_fault_time eng t = eng.fault_times <- List.sort compare (t :: eng.fault_times)
 
@@ -121,7 +187,7 @@ let new_sub eng (tcb : Vm.Tcb.t) =
   | Vm.Tcb.On_join _ | Vm.Tcb.On_token | Vm.Tcb.Done ->
     ());
   Rol.insert eng.rol sub;
-  ignore (Wal.append eng.wal ~order:id (Wal.Rol_insert { sub = id }));
+  ignore (Wal.append eng.wal ~at:(now eng) ~order:id (Wal.Rol_insert { sub = id }));
   Tidtab.set eng.cur_sub tcb.Vm.Tcb.tid (Some sub);
   Sim.Stats.incr eng.st.Exec.State.stats "gprs.subthreads";
   sub
@@ -290,7 +356,7 @@ let grant eng tid =
     (cur_sub eng tid).Subthread.forked <-
       ctid :: (cur_sub eng tid).Subthread.forked;
     ignore
-      (Wal.append eng.wal ~order:(cur_sub eng tid).Subthread.id
+      (Wal.append eng.wal ~at:(now eng) ~order:(cur_sub eng tid).Subthread.id
          (Wal.Thread_create { tid = ctid }));
     Order.add_thread eng.order ~tid:ctid ~group;
     (* Under DEX a fork creates a sub-thread, not an OS thread. *)
@@ -364,6 +430,7 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
   let st = eng.st in
   let tid = tcb.Vm.Tcb.tid in
   let t0 = now eng in
+  eng.io_tid <- tid;
   (match cur_sub_opt eng tid with
   | Some sub -> st.Exec.State.current_undo <- Some sub.Subthread.undo
   | None -> st.Exec.State.current_undo <- None);
@@ -505,7 +572,7 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
         (match cur_sub_opt eng tid with
         | Some sub ->
           ignore
-            (Wal.append eng.wal ~order:sub.Subthread.id
+            (Wal.append eng.wal ~at:(now eng) ~order:sub.Subthread.id
                (Wal.Alloc { addr = a; size }))
         | None -> ());
         d + eng.cfg.costs.Vm.Costs.wal_append
@@ -526,7 +593,7 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
           | Some sub ->
             sub.Subthread.freed_blocks <- (a, size) :: sub.Subthread.freed_blocks;
             ignore
-              (Wal.append eng.wal ~order:sub.Subthread.id
+              (Wal.append eng.wal ~at:(now eng) ~order:sub.Subthread.id
                  (Wal.Free { addr = a; size }))
           | None -> Vm.Mem.free st.Exec.State.mem a));
         eng.cfg.costs.Vm.Costs.free + eng.cfg.costs.Vm.Costs.wal_append
@@ -574,7 +641,7 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
         | Some sub ->
           sub.Subthread.forked <- ctid :: sub.Subthread.forked;
           ignore
-            (Wal.append eng.wal ~order:sub.Subthread.id
+            (Wal.append eng.wal ~at:(now eng) ~order:sub.Subthread.id
                (Wal.Thread_create { tid = ctid }))
         | None -> ());
         Order.add_thread eng.order ~tid:ctid ~group;
@@ -692,7 +759,23 @@ let retire eng =
         | Subthread.Complete c -> schedule_retire_check eng ~at:(c + latency + 1)
         | Subthread.Running | Subthread.Squashed -> ())
       | None -> ())
-    | None -> ignore (Wal.prune_below eng.wal ~order:eng.next_sub_id))
+    | None -> ignore (Wal.prune_below eng.wal ~order:eng.next_sub_id));
+    (* ARIES checkpoint at each retirement: the retired-order horizon,
+       the active-order table, the allocator snapshot, and (inside the
+       end record) the redo-start LSN. Bounds the cold-recovery redo
+       scan to records since the last retirement. *)
+    if Wal.stable_armed eng.wal then begin
+      let brk, free, used = Vm.Mem.alloc_parts st.Exec.State.mem in
+      let min_retired =
+        match Rol.min_live_id eng.rol with
+        | Some m -> m
+        | None -> eng.next_sub_id
+      in
+      let active =
+        List.map (fun (s : Subthread.t) -> s.Subthread.id) (Rol.to_list eng.rol)
+      in
+      Wal.log_checkpoint eng.wal ~min_retired ~active ~brk ~free ~used
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -765,6 +848,11 @@ let cancel_ctx_of_thread eng tid =
 let recover eng (victim : Subthread.t) =
   let st = eng.st in
   let costs = eng.cfg.costs in
+  (* Raised before any structure is touched: a crash point firing off a
+     WAL append made from inside this function (the stranded-waiter
+     sweep enqueues) must not capture a half-undone machine, so the
+     armed-crash hook declines to fire while [recovering] is set. *)
+  eng.recovering <- true;
   Sim.Stats.incr st.Exec.State.stats "gprs.recoveries";
   let squash = compute_squash_set eng victim in
   let n_squash = List.length squash in
@@ -869,6 +957,16 @@ let recover eng (victim : Subthread.t) =
       b.Exec.State.arrived <-
         List.filter (fun w -> not (squashed_or_destroyed w)) b.Exec.State.arrived)
     st.Exec.State.barriers;
+  (* Join registrations made by a squashed thread are stale — it restarts
+     from a checkpoint at or before the join and re-registers — and left
+     in place the target's exit would wake it spuriously (even out of a
+     later [Done] state). Registrations pointing AT a reset thread are
+     kept: surviving joiners must still be woken when it re-exits. *)
+  for tid = 0 to st.Exec.State.n_threads - 1 do
+    let tcb = Exec.State.thread st tid in
+    tcb.Vm.Tcb.joiners <-
+      List.filter (fun j -> not (squashed_or_destroyed j)) tcb.Vm.Tcb.joiners
+  done;
   (* Reset affected threads to their oldest squashed checkpoint. *)
   let restarts = ref [] in
   Hashtbl.iter
@@ -959,7 +1057,6 @@ let recover eng (victim : Subthread.t) =
   (* Every squashed record is now unreachable (out of the ROL, current-sub
      table entries cleared, checkpoints consumed): recycle them. *)
   List.iter (fun s -> release_sub eng s) squash;
-  eng.recovering <- true;
   eng.restart_pending <- List.sort compare !restarts;
   ignore
     (Sim.Event_queue.schedule st.Exec.State.evq
@@ -1114,69 +1211,73 @@ let finalize eng ~dnc =
   end;
   Exec.State.mk_result st ~dnc
 
-let run ?(lint = `Warn) cfg program =
-  (match lint with
-  | `Off -> ()
-  | (`Warn | `Strict) as mode -> (
-    let diags = Lint.Check.program program in
-    let visible =
-      List.filter
-        (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
-        diags
-    in
-    match mode with
-    | `Strict when Lint.Check.has_errors diags ->
-      raise (Lint.Check.Rejected (Lint.Check.errors diags))
-    | `Strict | `Warn ->
-      if visible <> [] then
-        Format.eprintf "%a"
-          (Lint.Render.pp ~title:"GPRS-lint (pre-execution)")
-          visible));
-  let st =
-    Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
-      ~seed:cfg.seed ()
-  in
-  let eng =
-    {
-      cfg;
-      st;
-      sched = Sched.Scheduler.create Sched.Scheduler.Work_steal ~n_contexts:cfg.n_contexts;
-      ctx_of = Array.make cfg.n_contexts None;
-      tick_handle = Array.make cfg.n_contexts None;
-      busy_until = Array.make cfg.n_contexts 0;
-      dead_ctx = Array.make cfg.n_contexts false;
-      order =
-        Order.create cfg.ordering ~group_weights:program.Vm.Isa.group_weights;
-      rol = Rol.create ();
-      wal = Wal.create ();
-      next_sub_id = 0;
-      pool = Subthread.pool_create ();
-      cur_sub = Tidtab.create None;
-      pending_delay = Tidtab.create 0;
-      queued = Tidtab.create false;
-      destroyed = Tidtab.create false;
-      recovering = false;
-      restart_pending = [];
-      interrupted = [];
-      pending_reports = [];
-      squashed_since_retire = 0;
-      injector =
-        Faults.Injector.create cfg.injector ~n_contexts:cfg.n_contexts
-          ~cycles_per_second:cfg.costs.Vm.Costs.cycles_per_second;
-      grant_guard = 0;
-      fault_times = [];
-      budget = Option.value ~default:max_int cfg.max_cycles;
-      instrs = Sim.Stats.counter st.Exec.State.stats "instrs";
-    }
-  in
-  let main = Exec.State.thread st Exec.State.main_tid in
-  Order.add_thread eng.order ~tid:Exec.State.main_tid ~group:main.Vm.Tcb.group;
-  ignore (new_sub eng main);
-  make_runnable eng ~ctx_hint:0 Exec.State.main_tid;
-  (* Fault horizon armed before the first dispatch so fused chains never
-     cross the first occurrence. *)
-  schedule_next_fault eng;
-  fill_all eng;
+let mk_eng cfg st ~order ~injector ~destroyed ~dead_ctx ~next_sub_id ~stable =
+  {
+    cfg;
+    st;
+    sched = Sched.Scheduler.create Sched.Scheduler.Work_steal ~n_contexts:cfg.n_contexts;
+    ctx_of = Array.make cfg.n_contexts None;
+    tick_handle = Array.make cfg.n_contexts None;
+    busy_until = Array.make cfg.n_contexts 0;
+    dead_ctx;
+    order;
+    rol = Rol.create ();
+    wal = Wal.create ~stable ();
+    next_sub_id;
+    pool = Subthread.pool_create ();
+    cur_sub = Tidtab.create None;
+    pending_delay = Tidtab.create 0;
+    queued = Tidtab.create false;
+    destroyed;
+    recovering = false;
+    restart_pending = [];
+    interrupted = [];
+    pending_reports = [];
+    squashed_since_retire = 0;
+    injector;
+    allow_crash = true;
+    grant_guard = 0;
+    fault_times = [];
+    budget = Option.value ~default:max_int cfg.max_cycles;
+    instrs = Sim.Stats.counter st.Exec.State.stats "instrs";
+    io_tid = 0;
+  }
+
+(* §3.2's coverage of the scheduler and IO metadata: queue inserts and
+   file-growth operations are logged at their real sites, on behalf of
+   the acting thread's current sub-thread. Threads without a current sub
+   (restart releases) need no record — their enqueue is reconstructed by
+   the restart logic itself, not replayed from the log. Neither append
+   charges extra cycles: the boundary cost already budgets two WAL
+   appends per sub-thread and [io_per_word] subsumes the IO append. *)
+let install_hooks eng =
+  Sched.Scheduler.set_on_enqueue eng.sched
+    (Some
+       (fun tid ->
+         match cur_sub_opt eng tid with
+         | Some sub ->
+           ignore
+             (Wal.append eng.wal ~at:(now eng) ~order:sub.Subthread.id
+                (Wal.Sched_enqueue { sub = sub.Subthread.id }))
+         | None -> ()));
+  eng.st.Exec.State.on_io_grow <-
+    Some
+      (fun file words ->
+        match cur_sub_opt eng eng.io_tid with
+        | Some sub ->
+          ignore
+            (Wal.append eng.wal ~at:(now eng) ~order:sub.Subthread.id
+               (Wal.Io_op { file; words }))
+        | None -> ())
+
+let boot_checkpoint eng =
+  if Wal.stable_armed eng.wal then begin
+    let brk, free, used = Vm.Mem.alloc_parts eng.st.Exec.State.mem in
+    Wal.log_checkpoint eng.wal ~min_retired:0 ~active:[] ~brk ~free ~used
+  end
+
+let run_loop eng =
+  let st = eng.st and cfg = eng.cfg in
   let rec loop () =
     if eng.squashed_since_retire > cfg.livelock_squashes then finalize eng ~dnc:true
     else if finished eng then finalize eng ~dnc:false
@@ -1212,7 +1313,23 @@ let run ?(lint = `Warn) cfg program =
           | Retire_check -> retire eng
           | Fault_occur { ctx; kind } ->
             remove_fault_time eng time;
-            fault_occur eng ctx kind
+            if kind = Faults.Injector.Crash then begin
+              if not eng.allow_crash then
+                (* a cold-recovered machine: consume and move on *)
+                schedule_next_fault eng
+              else if eng.recovering then begin
+                (* Mid-live-recovery the WAL image is torn (squashed
+                   orders not yet dropped, undo half-applied): hold the
+                   crash until the machine is consistent again, like the
+                   armed-LSN hook does. *)
+                add_fault_time eng (time + 1);
+                ignore
+                  (Sim.Event_queue.schedule st.Exec.State.evq ~time:(time + 1)
+                     (Fault_occur { ctx; kind }))
+              end
+              else raise Crash_signal
+            end
+            else fault_occur eng ctx kind
           | Fault_report { victim; ctx; kind } ->
             remove_fault_time eng time;
             if
@@ -1227,8 +1344,284 @@ let run ?(lint = `Warn) cfg program =
             | [] -> ()
             | v :: rest ->
               eng.pending_reports <- rest;
-              handle_report eng v));
+              handle_report eng v)
+          | Crash_point -> raise Crash_signal);
           try_grant eng;
           loop ())
   in
   loop ()
+
+(* Rebuild a running engine from the durable remains of a crashed one.
+   The caller (lib/recovery) has already done ARIES analysis over the
+   serialized WAL: [redo] reconstructs the allocator (checkpoint image +
+   conditional LSN-order replay; returns ops applied), [loser_ops] are
+   the log records of the in-flight sub-threads in reverse LSN order,
+   [replayed] is the redo-scan length (for the modeled repair duration),
+   and [next_sub] continues the order-id sequence past every id the log
+   ever granted. Redo runs before undo, as in ARIES: undo's inverse
+   operations ([undo_alloc]) assume the exact crash-time allocator,
+   which only exists after the retired prefix has been re-applied.
+   Returns the resume continuation; everything up to scheduling the
+   [Recovery_done] event has happened when it is handed back, so the
+   caller can time recovery separately from re-execution. *)
+let cold_restart (d : crash_dump) ~redo ~loser_ops ~replayed ~next_sub =
+  let st = d.d_st in
+  let cfg = { d.d_cfg with crash_lsn = None; crash_cycle = None } in
+  Sim.Event_queue.clear st.Exec.State.evq;
+  st.Exec.State.current_undo <- None;
+  st.Exec.State.on_io_grow <- None;
+  let eng =
+    mk_eng cfg st ~order:d.d_order ~injector:d.d_injector
+      ~destroyed:d.d_destroyed ~dead_ctx:d.d_dead_ctx ~next_sub_id:next_sub
+      ~stable:cfg.wal_stable
+  in
+  eng.allow_crash <- false;
+  install_hooks eng;
+  let stats = st.Exec.State.stats in
+  (* Restart points: the oldest in-flight sub-thread per thread. Threads
+     with no in-flight sub-thread lost nothing — their last sub-thread
+     retired, so their TCB state is committed; they stay exactly as they
+     were (parked on their sync object, or awaiting the ordering token). *)
+  let oldest : (int, Subthread.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Subthread.t) ->
+      match Hashtbl.find_opt oldest s.Subthread.tid with
+      | Some o when o.Subthread.id <= s.Subthread.id -> ()
+      | Some _ | None -> Hashtbl.replace oldest s.Subthread.tid s)
+    d.d_subs;
+  (* Redo: rebuild the allocator lists from the last checkpoint plus the
+     retired-prefix records. *)
+  let redone = redo st.Exec.State.mem in
+  (* Undo, architectural half: replay the in-flight sub-threads'
+     copy-on-write logs, newest sub-thread first (order agrees with
+     chronology for conflicting accesses in race-free programs). *)
+  let words = ref 0 in
+  let losers_desc =
+    List.sort
+      (fun (a : Subthread.t) b -> compare b.Subthread.id a.Subthread.id)
+      d.d_subs
+  in
+  List.iter
+    (fun (s : Subthread.t) ->
+      s.Subthread.status <- Subthread.Squashed;
+      words :=
+        !words
+        + Exec.Undo_log.replay ~mem:st.Exec.State.mem
+            ~atomics:st.Exec.State.atomics ~io:st.Exec.State.io
+            s.Subthread.undo)
+    losers_desc;
+  (* Undo, runtime half: walk the losers' log records in reverse LSN
+     order, exactly as live recovery does. *)
+  let undone = ref 0 in
+  List.iter
+    (fun (e : Wal.entry) ->
+      incr undone;
+      match e.Wal.op with
+      | Wal.Alloc { addr; size = _ } -> (
+        match Vm.Mem.block_size st.Exec.State.mem addr with
+        | Some _ -> Vm.Mem.undo_alloc st.Exec.State.mem addr
+        | None -> ())
+      | Wal.Thread_create { tid } -> destroy_thread eng tid
+      | Wal.Free _ (* quarantined: the block never left the allocator *)
+      | Wal.Rol_insert _ | Wal.Sched_enqueue _ | Wal.Io_op _ -> ())
+    loser_ops;
+  (* Synchronization objects are architectural state and survive the
+     crash. Like live recovery, scrub only the threads being rolled back
+     (or destroyed) out of their queues — the per-thread restores
+     re-establish holders from the checkpoints. Threads that are NOT
+     rolled back keep their registrations: a sleeper whose wait-sub
+     retired must still be on the condvar when the signal arrives. *)
+  let rolled_back tid =
+    Hashtbl.mem oldest tid || Tidtab.get eng.destroyed tid
+  in
+  Array.iteri
+    (fun mi (mu : Exec.State.mutex) ->
+      (match mu.Exec.State.holder with
+      | Some h when rolled_back h -> Exec.State.set_holder st mi None
+      | Some _ | None -> ());
+      mu.Exec.State.mwaiters <-
+        Exec.Fifo.filter (fun w -> not (rolled_back w)) mu.Exec.State.mwaiters)
+    st.Exec.State.mutexes;
+  Array.iter
+    (fun (c : Exec.State.cond) ->
+      c.Exec.State.sleepers <-
+        Exec.Fifo.filter (fun w -> not (rolled_back w)) c.Exec.State.sleepers)
+    st.Exec.State.conds;
+  Array.iter
+    (fun (b : Exec.State.barrier) ->
+      b.Exec.State.arrived <-
+        List.filter (fun w -> not (rolled_back w)) b.Exec.State.arrived)
+    st.Exec.State.barriers;
+  (* Join registrations made by a rolled-back thread are stale: its
+     restore checkpoint precedes the blocking join (the sub opened at the
+     join boundary is the one being squashed), so it re-registers on
+     re-execution. Left in place, the target's exit would fire a spurious
+     wake — resurrecting the joiner even after it has itself exited. *)
+  for tid = 0 to st.Exec.State.n_threads - 1 do
+    let tcb = Exec.State.thread st tid in
+    tcb.Vm.Tcb.joiners <-
+      List.filter (fun j -> not (rolled_back j)) tcb.Vm.Tcb.joiners
+  done;
+  (* Precise restart: each affected thread resumes from its oldest
+     in-flight sub-thread's history-buffer checkpoint. Restores run in
+     ascending checkpoint order: when two checkpoints both record a held
+     mutex (an older checkpoint predating a handover), the chronologically
+     earlier hold wins and the later claimant queues until the re-executed
+     unlock hands it over. *)
+  let restores =
+    Hashtbl.fold (fun _ (s : Subthread.t) acc -> s :: acc) oldest []
+    |> List.sort (fun (a : Subthread.t) b -> compare a.Subthread.id b.Subthread.id)
+  in
+  let restarts = ref [] in
+  List.iter
+    (fun (o : Subthread.t) ->
+      let tid = o.Subthread.tid in
+      (* A loser Thread_create undo above may have destroyed this tid. *)
+      if not (Tidtab.get eng.destroyed tid) then begin
+        let tcb = Exec.State.thread st tid in
+        if tcb.Vm.Tcb.wait = Vm.Tcb.Done then begin
+          (* The thread exited inside lost work: revive it. The crash can
+             strike between the [Done] transition and the order-table
+             removal (a joiner-wake append mid-[Exit]), so membership is
+             checked rather than assumed. *)
+          st.Exec.State.live_threads <- st.Exec.State.live_threads + 1;
+          if not (Order.mem eng.order tid) then
+            Order.add_thread eng.order ~tid ~group:tcb.Vm.Tcb.group
+        end;
+        Vm.Tcb.restore_state tcb o.Subthread.saved;
+        tcb.Vm.Tcb.wait <- Vm.Tcb.Runnable;
+        List.iter
+          (fun m ->
+            let mu = st.Exec.State.mutexes.(m) in
+            match mu.Exec.State.holder with
+            | None -> Exec.State.set_holder st m (Some tid)
+            | Some h when h = tid -> ()
+            | Some _ ->
+              Sim.Stats.incr stats "gprs.regrant_waits";
+              mu.Exec.State.mwaiters <-
+                Exec.Fifo.push_front mu.Exec.State.mwaiters tid;
+              tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m)
+          o.Subthread.held_locks;
+        (match o.Subthread.pending_mutex with
+        | None -> ()
+        | Some m -> (
+          let mu = st.Exec.State.mutexes.(m) in
+          match mu.Exec.State.holder with
+          | None -> Exec.State.set_holder st m (Some tid)
+          | Some h when h = tid -> ()
+          | Some _ ->
+            mu.Exec.State.mwaiters <- Exec.Fifo.push mu.Exec.State.mwaiters tid;
+            tcb.Vm.Tcb.wait <- Vm.Tcb.On_mutex m));
+        Order.set_eligible eng.order tid (tcb.Vm.Tcb.wait = Vm.Tcb.Runnable);
+        restarts := tid :: !restarts
+      end)
+    restores;
+  (* Stranded waiters: the rollbacks can leave a mutex free while its
+     queue still holds un-rolled-back threads — hand it to the head. *)
+  Array.iteri
+    (fun mi (mu : Exec.State.mutex) ->
+      match (mu.Exec.State.holder, Exec.Fifo.pop mu.Exec.State.mwaiters) with
+      | None, Some (w, rest) ->
+        Exec.State.set_holder st mi (Some w);
+        mu.Exec.State.mwaiters <- rest;
+        let wt = Exec.State.thread st w in
+        wt.Vm.Tcb.wait <- Vm.Tcb.Runnable;
+        Order.set_eligible eng.order w true;
+        if not (List.mem w !restarts) then make_runnable eng ~ctx_hint:w w
+      | (Some _ | None), _ -> ())
+    st.Exec.State.mutexes;
+  (* Runnable threads with no in-flight sub-thread lost only their seat
+     in the (volatile) work queues — e.g. threads a pre-crash live
+     recovery had reset and re-queued. Their TCBs are current; they just
+     need re-enqueueing when recovery completes. *)
+  for tid = 0 to st.Exec.State.n_threads - 1 do
+    if
+      (Exec.State.thread st tid).Vm.Tcb.wait = Vm.Tcb.Runnable
+      && (not (rolled_back tid))
+      && not (List.mem tid !restarts)
+    then restarts := tid :: !restarts
+  done;
+  Sim.Stats.incr stats "recovery.cold_restarts";
+  Sim.Stats.add stats "recovery.replayed_lsns" replayed;
+  Sim.Stats.add stats "recovery.redone_ops" redone;
+  Sim.Stats.add stats "recovery.squashed_subs" (List.length d.d_subs);
+  Sim.Stats.add stats "recovery.restored_words" !words;
+  Sim.Stats.add stats "recovery.wal_undone" !undone;
+  let costs = cfg.costs in
+  let duration =
+    costs.Vm.Costs.pause_resume
+    + (costs.Vm.Costs.restore_per_word * !words)
+    + (costs.Vm.Costs.wal_undo * (replayed + !undone))
+  in
+  eng.recovering <- true;
+  eng.restart_pending <- List.sort compare !restarts;
+  ignore
+    (Sim.Event_queue.schedule st.Exec.State.evq
+       ~time:(d.d_cycle + Stdlib.max 1 duration)
+       Recovery_done);
+  boot_checkpoint eng;
+  schedule_next_fault eng;
+  fun () -> run_loop eng
+
+let run ?(lint = `Warn) ?wal_out cfg program =
+  (match lint with
+  | `Off -> ()
+  | (`Warn | `Strict) as mode -> (
+    let diags = Lint.Check.program program in
+    let visible =
+      List.filter
+        (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
+        diags
+    in
+    match mode with
+    | `Strict when Lint.Check.has_errors diags ->
+      raise (Lint.Check.Rejected (Lint.Check.errors diags))
+    | `Strict | `Warn ->
+      if visible <> [] then
+        Format.eprintf "%a"
+          (Lint.Render.pp ~title:"GPRS-lint (pre-execution)")
+          visible));
+  let st =
+    Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
+      ~seed:cfg.seed ()
+  in
+  let stable =
+    cfg.wal_stable || cfg.crash_lsn <> None || cfg.crash_cycle <> None
+  in
+  let eng =
+    mk_eng cfg st
+      ~order:(Order.create cfg.ordering ~group_weights:program.Vm.Isa.group_weights)
+      ~injector:
+        (Faults.Injector.create cfg.injector ~n_contexts:cfg.n_contexts
+           ~cycles_per_second:cfg.costs.Vm.Costs.cycles_per_second)
+      ~destroyed:(Tidtab.create false)
+      ~dead_ctx:(Array.make cfg.n_contexts false)
+      ~next_sub_id:0 ~stable
+  in
+  install_hooks eng;
+  boot_checkpoint eng;
+  (match cfg.crash_lsn with
+  | Some k ->
+    Wal.set_on_append eng.wal
+      (Some (fun lsn -> if lsn = k && not eng.recovering then raise Crash_signal))
+  | None -> ());
+  try
+    (match cfg.crash_cycle with
+    | Some t ->
+      ignore (Sim.Event_queue.schedule st.Exec.State.evq ~time:t Crash_point)
+    | None -> ());
+    let main = Exec.State.thread st Exec.State.main_tid in
+    Order.add_thread eng.order ~tid:Exec.State.main_tid ~group:main.Vm.Tcb.group;
+    ignore (new_sub eng main);
+    make_runnable eng ~ctx_hint:0 Exec.State.main_tid;
+    (* Fault horizon armed before the first dispatch so fused chains never
+       cross the first occurrence. *)
+    schedule_next_fault eng;
+    fill_all eng;
+    let res = run_loop eng in
+    (match wal_out with
+    | Some r ->
+      r := Option.value ~default:"" (Wal.stable_image eng.wal)
+    | None -> ());
+    res
+  with Crash_signal -> raise (Crashed (capture eng))

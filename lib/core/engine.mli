@@ -63,13 +63,75 @@ type config = {
           loss: the struck context is retired and execution continues on
           the rest (the paper's §3.5 fatal-exception extension); all
           contexts lost means DNC *)
+  wal_stable : bool;
+      (** serialize the WAL to an in-memory stable-storage image (see
+          {!Wal.stable_image}); implied by either crash trigger below.
+          Arming it changes no simulated cycle and no program output —
+          appends already charge their cycles whether or not an image is
+          kept *)
+  crash_lsn : int option;
+      (** crash the runtime immediately after WAL op record [lsn] reaches
+          stable storage: {!run} raises {!Crashed} carrying the durable
+          remains. The crash sweep enumerates this over every LSN *)
+  crash_cycle : int option;
+      (** crash at a simulated cycle instead of a WAL boundary — the
+          schedule-comparison form used to hit GPRS and P-CPR at the same
+          points *)
 }
 
 val default_config : config
 (** 24 contexts, balance-aware ordering, selective restart, no faults. *)
 
+(** {2 Crash model}
+
+    A [Crash] (whole-runtime failure) at cycle [c] discards everything
+    volatile: the scheduler's queues, the live WAL entries, the ROL ring,
+    the engine's context/tick/sub-thread tables. What survives is what
+    the paper's fault model calls stable: the serialized WAL image, the
+    architectural state (memory words, atomics, files, TCBs — protected
+    by the history buffers of in-flight sub-threads), those in-flight
+    sub-threads' history-buffer checkpoints and undo logs, the ordering
+    state, and the fault injector's stream. {!cold_restart} rebuilds a
+    running engine from those remains after {!Recovery} has performed
+    ARIES analysis/redo planning over the WAL image. *)
+
+type crash_dump
+(** The durable remains of a crashed run. *)
+
+exception Crashed of crash_dump
+(** Raised by {!run} when a configured crash trigger fires. *)
+
+val dump_cycle : crash_dump -> int
+(** Simulated cycle at which the crash struck. *)
+
+val dump_wal_image : crash_dump -> string
+(** The WAL's stable-storage image as of the crash. *)
+
+val dump_active_ids : crash_dump -> int list
+(** Orders of the in-flight (unretired) sub-threads, ascending — the
+    ground truth the WAL analysis' loser set is cross-checked against. *)
+
+val cold_restart :
+  crash_dump ->
+  redo:(Vm.Mem.t -> int) ->
+  loser_ops:Wal.entry list ->
+  replayed:int ->
+  next_sub:int ->
+  unit ->
+  Exec.State.run_result
+(** Rebuild a running engine from a crash dump and resume to completion.
+    [redo] re-applies the retired-prefix allocator operations (checkpoint
+    image + conditional LSN-order replay; returns ops applied);
+    [loser_ops] are the in-flight sub-threads' log records in reverse LSN
+    order, to be undone; [replayed] sizes the modeled repair duration;
+    [next_sub] continues the order-id sequence past every id the log
+    granted. Partial application up to [()] performs the whole recovery —
+    the returned thunk only re-enters the event loop, so callers can time
+    recovery separately from re-execution. *)
+
 val run :
   ?lint:[ `Off | `Warn | `Strict ] ->
+  ?wal_out:string ref ->
   config ->
   Vm.Isa.program ->
   Exec.State.run_result
@@ -86,4 +148,8 @@ val run :
       reachable outside a CPR region (which would make hybrid recovery
       unsound, previously only counted at runtime under the
       ["gprs.nonstd_unprotected"] stat) refuses to start;
-    - [`Off]: skip the analysis (for callers that linted already). *)
+    - [`Off]: skip the analysis (for callers that linted already).
+
+    [wal_out], on normal completion with a stable WAL, receives the final
+    serialized image (the fault-free pilot the crash sweep enumerates
+    crash points from). *)

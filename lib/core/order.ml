@@ -75,6 +75,8 @@ let is_eligible t tid =
   | None -> false
   | Some (m, _) -> (not m.dead) && m.eligible
 
+let mem t tid = Hashtbl.mem t.index tid
+
 let live_count t = t.live
 
 (* First live eligible member of [g] scanning from its cursor, wrapping. *)

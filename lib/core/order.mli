@@ -50,6 +50,11 @@ val set_eligible : t -> int -> bool -> unit
 
 val is_eligible : t -> int -> bool
 
+val mem : t -> int -> bool
+(** Is the thread currently in the order table? Cold restart uses this to
+    tell a cleanly-exited thread from one whose crash struck between its
+    [Done] transition and its removal from the table. *)
+
 val live_count : t -> int
 
 val holder : t -> int option

@@ -14,6 +14,11 @@ type config = {
           barriers do — without it, time-triggered commits of arbitrary
           quiesced states let CPR crawl through exception storms the
           paper's scheme cannot survive. 0.0 disables the gate. *)
+  crash_at : int option;
+      (** whole-runtime crash at this simulated cycle: all work since the
+          last committed global checkpoint is lost and the machine
+          restarts from it — the comparison leg the crash sweep runs
+          against GPRS's WAL-driven cold recovery *)
 }
 
 let default_config =
@@ -26,6 +31,7 @@ let default_config =
     livelock_rollbacks = 200;
     costs = Vm.Costs.default;
     commit_progress_fraction = 0.5;
+    crash_at = None;
   }
 
 type event =
@@ -34,6 +40,7 @@ type event =
   | Ckpt_done
   | Fault_report of { occurred_at : int; ctx : int }
   | Restore_done
+  | Crash_point  (* [crash_at] fired: roll back to the last checkpoint *)
 
 (* A committed coordinated checkpoint: the restartable image of every
    thread plus synchronization-object and allocator state. Data words
@@ -648,6 +655,9 @@ let run cfg program =
      so fused chains never cross them. *)
   schedule_alarm eng;
   schedule_next_fault eng;
+  (match cfg.crash_at with
+  | Some t -> ignore (Sim.Event_queue.schedule st.Exec.State.evq ~time:t Crash_point)
+  | None -> ());
   fill_all eng;
   let dnc () = Exec.State.mk_result st ~dnc:true in
   let rec loop () =
@@ -688,7 +698,16 @@ let run cfg program =
             else if eng.mode = Restoring then
               eng.pending_reports <- eng.pending_reports @ [ (occurred_at, ctx) ]
             else begin_restore eng ~occurred_at
-          | Restore_done -> finish_restore eng);
+          | Restore_done -> finish_restore eng
+          | Crash_point ->
+            (* A crash behaves like an instantly-reported fault that
+               occurred now: everything since the last committed global
+               checkpoint is volatile and lost. *)
+            Sim.Stats.incr st.Exec.State.stats "cpr.crash_restores";
+            if Exec.State.all_exited st then ()
+            else if eng.mode = Restoring then
+              eng.pending_reports <- eng.pending_reports @ [ (time, 0) ]
+            else begin_restore eng ~occurred_at:time);
           if eng.mode = Normal then fill_all eng;
           if Exec.State.all_exited st then Exec.State.mk_result st ~dnc:false
           else loop ())

@@ -34,6 +34,11 @@ type config = {
           sync-point barriers; without it CPR would commit arbitrary
           quiesced states and crawl through exception storms the paper's
           scheme cannot survive. 0.0 disables. Default 0.5. *)
+  crash_at : int option;
+      (** whole-runtime crash at this simulated cycle: the machine loses
+          all work since the last committed global checkpoint and restores
+          it — P-CPR's answer to the crash the GPRS sweep recovers from
+          via WAL replay + history-buffer restarts. Default [None]. *)
 }
 
 val default_config : config

@@ -19,6 +19,7 @@ type 'ev t = {
   mutable acc_cost : int;
   output_handles : (string * Vm.Io.file) list;
   blocks : Vm.Block.t;
+  mutable on_io_grow : (Vm.Io.file -> int -> unit) option;
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
@@ -77,6 +78,7 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     acc_cost = 0;
     output_handles;
     blocks = Vm.Block.analyze program;
+    on_io_grow = None;
   }
 
 let thread t tid =
@@ -150,7 +152,12 @@ let env_of t (tcb : Vm.Tcb.t) =
       (fun f ~off v ->
         t.acc_cost <- t.acc_cost + costs.Vm.Costs.io_per_word;
         let len = Vm.Io.size t.io f in
-        if off >= len then note_undo t (Undo_log.K_file_len f) ~old:len;
+        if off >= len then begin
+          note_undo t (Undo_log.K_file_len f) ~old:len;
+          match t.on_io_grow with
+          | Some g -> g f (off + 1 - len)
+          | None -> ()
+        end;
         note_undo t (Undo_log.K_file (f, off)) ~old:(Vm.Io.read t.io f ~off);
         Vm.Io.write t.io f ~off v);
   }

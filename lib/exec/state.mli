@@ -33,6 +33,10 @@ type 'ev t = {
   mutable acc_cost : int;  (** cycles accrued by tracked accesses *)
   output_handles : (string * Vm.Io.file) list;
   blocks : Vm.Block.t;  (** fused-block pre-decode of [program] *)
+  mutable on_io_grow : (Vm.Io.file -> int -> unit) option;
+      (** Fired when a tracked write grows a file ([file], words grown) —
+          the file-metadata change [Wal.Io_op] records. The GPRS engine
+          appends to its WAL here; other engines leave it [None]. *)
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }

@@ -3,6 +3,7 @@ type kind =
   | Voltage_emergency
   | Approx_recompute
   | Resource_revocation
+  | Crash
 
 type event = {
   occurred_at : Sim.Time.cycles;
@@ -95,4 +96,5 @@ let pp_kind ppf k =
     | Transient_fault -> "transient_fault"
     | Voltage_emergency -> "voltage_emergency"
     | Approx_recompute -> "approx_recompute"
-    | Resource_revocation -> "resource_revocation")
+    | Resource_revocation -> "resource_revocation"
+    | Crash -> "crash")

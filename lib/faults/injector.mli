@@ -3,8 +3,9 @@
     Models the paper's exception-raising thread (§4 "System Assumptions"):
     exceptions occur at a configured rate, each striking one uniformly
     chosen hardware context, and are {e reported} to the recovery system
-    only after a detection latency (default 400,000 cycles, as in the
-    paper). The arrival process is periodic or Poisson; the paper
+    only after a detection latency (default 40,000 cycles — the paper's
+    400k-cycle latency rescaled with the rest of the machine constants;
+    see DESIGN.md §2). The arrival process is periodic or Poisson; the paper
     stress-tests rates without emphasizing the distribution, and both are
     provided.
 
@@ -18,6 +19,12 @@ type kind =
   | Voltage_emergency  (** timing/voltage/thermal emergency *)
   | Approx_recompute  (** QoS framework demands recomputation *)
   | Resource_revocation  (** spot instance / scheduler revoked a context *)
+  | Crash
+      (** whole-runtime failure: all volatile engine state is lost and
+          execution cold-restarts from the serialized WAL ({!Recovery}).
+          Not in {!default_config}'s kind list — crashes only happen when
+          asked for. A crash takes effect at [occurred_at] (there is no
+          detection window for losing the machine). *)
 
 type event = {
   occurred_at : Sim.Time.cycles;
@@ -35,12 +42,12 @@ type config = {
   rate : float;  (** exceptions per simulated second; [<= 0.] disables *)
   process : process;
   detection_latency : Sim.Time.cycles;
-  kinds : kind list;  (** drawn uniformly; default all four *)
+  kinds : kind list;  (** drawn uniformly; default all four non-crash kinds *)
   seed : int;
 }
 
 val default_config : config
-(** Disabled (rate 0), periodic, 400k-cycle latency, seed 1. *)
+(** Disabled (rate 0), periodic, 40k-cycle latency, seed 1. *)
 
 val config :
   ?process:process -> ?detection_latency:int -> ?kinds:kind list -> ?seed:int -> float -> config

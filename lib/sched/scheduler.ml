@@ -6,6 +6,10 @@ type t = {
   global : int Deque.t;  (* Fifo: the single queue (top = oldest) *)
   local : int Deque.t array;  (* Work_steal: per-context deques *)
   mutable count : int;
+  (* Observer fired with the item on every enqueue; the GPRS engine hangs
+     its WAL [Sched_enqueue] append here so the log records queue inserts
+     at their real site rather than at some engine-side approximation. *)
+  mutable on_enqueue : (int -> unit) option;
 }
 
 let create pol ~n_contexts =
@@ -15,11 +19,14 @@ let create pol ~n_contexts =
     global = Deque.create ();
     local = Array.init n_contexts (fun _ -> Deque.create ());
     count = 0;
+    on_enqueue = None;
   }
 
 let policy t = t.pol
+let set_on_enqueue t f = t.on_enqueue <- f
 
 let enqueue t ~ctx_hint x =
+  (match t.on_enqueue with Some f -> f x | None -> ());
   t.count <- t.count + 1;
   match t.pol with
   | Fifo -> Deque.push_bottom t.global x

@@ -25,6 +25,12 @@ val enqueue : t -> ctx_hint:int -> int -> unit
     receives it under [Work_steal] (the context that created or woke the
     item); ignored under [Fifo]. *)
 
+val set_on_enqueue : t -> (int -> unit) option -> unit
+(** Observer fired with the item at the start of every {!enqueue} — the
+    GPRS engine logs [Wal.Sched_enqueue] here, so the work queues are
+    reconstructible from the log as §3.2 requires. [None] (the default)
+    disables it. *)
+
 val take : t -> ctx:int -> (int * bool) option
 (** Next item for an idle context. The boolean is [true] when the item was
     stolen from another context's deque (the caller charges the steal

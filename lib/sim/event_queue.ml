@@ -127,6 +127,20 @@ let schedule ?(prio = 0) q ~time payload =
 
 let heap_size q = q.size
 
+(* Drop every pending event without advancing the clock: the crash model
+   loses all scheduled work, but simulated time is the time of the crash,
+   not of the latest event that would have fired. Generation stamps are
+   bumped so handles to discarded cells can never cancel a later
+   occupant of the same slot. *)
+let clear q =
+  for i = 0 to q.size - 1 do
+    let c = q.heap.(i) in
+    c.gen <- c.gen + 1;
+    c.cancelled <- false
+  done;
+  q.size <- 0;
+  q.live <- 0
+
 (* Rebuild the heap without the cancelled cells (Floyd heapify). Pop
    order is untouched: it is fully determined by the (time, seq) total
    order, not by heap shape. *)

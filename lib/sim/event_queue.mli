@@ -38,6 +38,11 @@ val cancel : 'a t -> handle -> unit
     minimum size), the heap is compacted so sift costs track the live
     population rather than the cancellation history. *)
 
+val clear : 'a t -> unit
+(** Empty the queue without advancing {!now} — a whole-runtime crash
+    discards every pending event but time stays at the crash instant.
+    Outstanding handles are invalidated. *)
+
 val heap_size : 'a t -> int
 (** Physical heap occupancy, including not-yet-reclaimed cancelled
     cells; [length q <= heap_size q] always. For tests and

@@ -165,9 +165,29 @@ let undo_free t a ~size =
   t.free_list <- go t.free_list;
   Hashtbl.replace t.allocated a size
 
+(* Positional, idempotent replay of a logged Alloc: carve exactly
+   [a, a+size) out of the free list (ARIES conditional redo — a no-op when
+   the block is already live, e.g. its effect predates the checkpoint the
+   redo scan started from). First-fit placement is deterministic, so
+   replaying the logged address reconstructs the crash-time free list
+   exactly; [static_brk] only moves at boot-time [reserve] and is restored
+   from the checkpoint record. *)
+let redo_alloc t a ~size =
+  if not (Hashtbl.mem t.allocated a) then undo_free t a ~size
+
 let live_blocks t =
   Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.allocated []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Concrete allocator pieces, for the WAL checkpoint record: both lists
+   address-sorted so the serialized form is canonical. *)
+let alloc_parts t = (t.static_brk, t.free_list, live_blocks t)
+
+let restore_alloc_parts t ~brk ~free ~used =
+  t.static_brk <- brk;
+  t.free_list <- free;
+  Hashtbl.reset t.allocated;
+  List.iter (fun (a, n) -> Hashtbl.replace t.allocated a n) used
 
 type alloc_state = {
   a_static_brk : int;

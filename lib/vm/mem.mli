@@ -83,6 +83,22 @@ val live_blocks : t -> (addr * int) list
 (** Allocated blocks, sorted by address; used by tests and by CPR
     snapshots. *)
 
+val redo_alloc : t -> addr -> size:int -> unit
+(** ARIES conditional redo of a logged [Alloc]: carve exactly
+    [addr, addr+size) back out of the free list and mark it live; no-op
+    if the block is already allocated (its effect is in the checkpoint
+    the redo scan started from). *)
+
+val alloc_parts : t -> int * (addr * int) list * (addr * int) list
+(** [(static_brk, free_list, allocated)] — the concrete allocator
+    metadata, both lists address-sorted. Serialized into WAL checkpoint
+    records so cold recovery can rebuild the allocator without replaying
+    the whole log. *)
+
+val restore_alloc_parts :
+  t -> brk:int -> free:(addr * int) list -> used:(addr * int) list -> unit
+(** Inverse of {!alloc_parts}: install a checkpointed allocator state. *)
+
 type alloc_state
 (** Opaque copy of the allocator metadata (free list + live blocks),
     excluding data words. CPR snapshots this cheaply at every checkpoint;

@@ -584,6 +584,93 @@ let prop_cpr_recovery_exact =
       (not r.Exec.State.dnc)
       && Vm.Mem.read r.Exec.State.final_mem 0 = workers * iters)
 
+(* --- WAL: pruning and dropping never strand or invent entries -------- *)
+
+(* A plan is a list of appends (by order id) followed by interleaved
+   prune/drop operations; the live set must always be exactly the
+   appended entries minus the pruned and dropped ones. *)
+let wal_plan_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 80) (int_range 0 9))
+      (list_size (int_range 0 8) (pair bool (int_range 0 9))))
+
+let prop_wal_no_stranding =
+  case "wal: prune_below + drop_for never strand entries" wal_plan_gen
+    (fun (orders, cuts) ->
+      let w = Wal.create () in
+      List.iter
+        (fun o -> ignore (Wal.append w ~order:o (Wal.Rol_insert { sub = o })))
+        orders;
+      let live = ref (List.length orders) in
+      let gone_below = ref 0 in
+      let dropped = Hashtbl.create 8 in
+      List.iter
+        (fun (is_prune, o) ->
+          if is_prune then begin
+            let n = Wal.prune_below w ~order:o in
+            live := !live - n;
+            gone_below := Stdlib.max !gone_below o
+          end
+          else begin
+            let n = Wal.drop_for w ~orders:(fun o' -> o' = o) in
+            live := !live - n;
+            if o >= !gone_below then Hashtbl.replace dropped o ()
+          end)
+        cuts;
+      let expect =
+        List.length
+          (List.filter
+             (fun o -> o >= !gone_below && not (Hashtbl.mem dropped o))
+             orders)
+      in
+      Wal.size w = !live && !live = expect
+      && Wal.high_water w = List.length orders
+      && List.length (Wal.entries_for w ~orders:(fun _ -> true)) = expect)
+
+let prop_wal_entries_newest_first =
+  case "wal: entries_for is strictly newest-first in LSN"
+    (QCheck2.Gen.list_size
+       (QCheck2.Gen.int_range 1 100)
+       (QCheck2.Gen.int_range 0 5))
+    (fun orders ->
+      let w = Wal.create () in
+      List.iter
+        (fun o -> ignore (Wal.append w ~order:o (Wal.Io_op { file = 0; words = o })))
+        orders;
+      let rec strictly_desc = function
+        | (a : Wal.entry) :: (b :: _ as rest) ->
+          a.Wal.lsn > b.Wal.lsn && strictly_desc rest
+        | _ -> true
+      in
+      strictly_desc (Wal.entries_for w ~orders:(fun o -> o mod 2 = 0)))
+
+(* --- Allocator: squash-undo restores the free list exactly ----------- *)
+
+(* The squashed sub-thread allocated random blocks (its frees were
+   quarantined, so allocs are the only allocator mutations to undo).
+   Undoing them newest-first must restore brk and the coalesced free
+   list bit-exactly, from any fragmentation the prologue created. *)
+let prop_alloc_undo_exact =
+  case "allocator: alloc undo restores free list exactly (coalescing)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 30) (pair (int_range 1 16) bool))
+        (list_size (int_range 1 30) (int_range 1 24))
+        int)
+    (fun (prologue, sub_sizes, _seed) ->
+      let m = Vm.Mem.create ~words:8192 in
+      (* Fragment the arena: retired history the undo must not disturb. *)
+      List.iter
+        (fun (size, do_free) ->
+          let a = Vm.Mem.alloc m size in
+          if do_free then Vm.Mem.free m a)
+        prologue;
+      let before = Vm.Mem.alloc_parts m in
+      let blocks = List.map (fun s -> Vm.Mem.alloc m s) sub_sizes in
+      List.iter (fun a -> Vm.Mem.undo_alloc m a) (List.rev blocks);
+      Vm.Mem.alloc_parts m = before)
+
 let suite =
   [
     prop_prng_bounds;
@@ -610,4 +697,7 @@ let suite =
     prop_lint_mutation_caught;
     prop_gprs_recovery_exact;
     prop_cpr_recovery_exact;
+    prop_wal_no_stranding;
+    prop_wal_entries_newest_first;
+    prop_alloc_undo_exact;
   ]

@@ -1,0 +1,224 @@
+(* Whole-runtime crash injection and ARIES-style cold recovery.
+
+   The headline invariant: crash the runtime at every WAL-record
+   boundary, cold-recover from the stable image, resume, and the final
+   digest is bit-identical to the fault-free run — under all three
+   ordering schemes, with a P-CPR comparison leg under the same crash
+   schedule. *)
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let workload name scale =
+  let spec = Workloads.Suite.find name in
+  let program =
+    spec.Workloads.Workload.build ~n_contexts:4
+      ~grain:Workloads.Workload.Default ~scale
+  in
+  (spec, program)
+
+let gprs_cfg ?(ordering = Gprs.Order.Balance_aware) () =
+  { Gprs.Engine.default_config with n_contexts = 4; seed = 3; ordering }
+
+(* --- WAL stable image ------------------------------------------------- *)
+
+let test_stable_roundtrip () =
+  let w = Wal.create ~stable:true () in
+  checkb "armed" true (Wal.stable_armed w);
+  ignore (Wal.append w ~at:5 ~order:0 (Wal.Alloc { addr = 64; size = 8 }));
+  ignore (Wal.append w ~at:6 ~order:1 (Wal.Thread_create { tid = 2 }));
+  ignore (Wal.append w ~at:7 ~order:1 (Wal.Sched_enqueue { sub = 1 }));
+  ignore (Wal.append w ~at:8 ~order:2 (Wal.Io_op { file = 0; words = 3 }));
+  Wal.log_checkpoint w ~min_retired:1 ~active:[ 1; 2 ]
+    ~brk:128
+    ~free:[ (128, 64) ]
+    ~used:[ (64, 8) ];
+  ignore (Wal.append w ~at:9 ~order:2 (Wal.Free { addr = 64; size = 8 }));
+  ignore (Wal.prune_below w ~order:1);
+  ignore (Wal.drop_for w ~orders:(fun o -> o = 2));
+  let image =
+    match Wal.stable_image w with
+    | Some s -> s
+    | None -> Alcotest.fail "stable image missing"
+  in
+  let recs = Wal.parse_image image in
+  (* every record class survives the round-trip *)
+  let has p = List.exists p recs in
+  checkb "op" true
+    (has (function
+      | Wal.S_op { at = 5; e } -> e.Wal.op = Wal.Alloc { addr = 64; size = 8 }
+      | _ -> false));
+  checkb "enqueue" true
+    (has (function
+      | Wal.S_op { e; _ } -> e.Wal.op = Wal.Sched_enqueue { sub = 1 }
+      | _ -> false));
+  checkb "prune" true
+    (has (function Wal.S_prune { upto = 1; _ } -> true | _ -> false));
+  checkb "drop" true
+    (has (function Wal.S_drop { orders = [ 2 ]; _ } -> true | _ -> false));
+  checkb "checkpoint" true
+    (has (function
+      | Wal.S_ckpt_end { min_retired = 1; brk = 128; free = [ (128, 64) ];
+                         used = [ (64, 8) ]; _ } ->
+        true
+      | _ -> false))
+
+let test_corrupt_image_detected () =
+  let w = Wal.create ~stable:true () in
+  ignore (Wal.append w ~at:1 ~order:0 (Wal.Alloc { addr = 8; size = 4 }));
+  Wal.log_checkpoint w ~min_retired:0 ~active:[] ~brk:8 ~free:[] ~used:[];
+  let image = Option.get (Wal.stable_image w) in
+  (* flip one payload character: the record checksum must catch it *)
+  let bad = Bytes.of_string image in
+  let i = String.index image '8' in
+  Bytes.set bad i '9';
+  checkb "corrupt raises" true
+    (match Wal.parse_image (Bytes.to_string bad) with
+    | _ -> false
+    | exception Wal.Corrupt _ -> true);
+  checkb "checkpoint-less raises" true
+    (match Recovery.analyze "" with
+    | _ -> false
+    | exception Wal.Corrupt _ -> true)
+
+(* --- Stable arming is invisible --------------------------------------- *)
+
+let test_stable_invisible () =
+  let spec, program = workload "pbzip2" 0.02 in
+  let off = Gprs.Engine.run ~lint:`Off (gprs_cfg ()) program in
+  let on =
+    Gprs.Engine.run ~lint:`Off
+      { (gprs_cfg ()) with Gprs.Engine.wal_stable = true }
+      program
+  in
+  checks "digest" (spec.Workloads.Workload.digest off)
+    (spec.Workloads.Workload.digest on);
+  Alcotest.(check int)
+    "cycles" off.Exec.State.sim_cycles on.Exec.State.sim_cycles
+
+(* --- Single crash points ---------------------------------------------- *)
+
+let recover_and_check ?(spec_name = "pbzip2") ?(scale = 0.02) dump =
+  let spec, program = workload spec_name scale in
+  ignore program;
+  let _a, _secs, resume = Recovery.recover dump in
+  let r = resume () in
+  checkb "completes" false r.Exec.State.dnc;
+  spec.Workloads.Workload.digest r
+
+let test_crash_at_cycle () =
+  let spec, program = workload "pbzip2" 0.02 in
+  let want = spec.Workloads.Workload.digest (Gprs.Engine.run ~lint:`Off (gprs_cfg ()) program) in
+  let cfg = { (gprs_cfg ()) with Gprs.Engine.crash_cycle = Some 50_000 } in
+  match Gprs.Engine.run ~lint:`Off cfg program with
+  | _ -> Alcotest.fail "crash never fired"
+  | exception Gprs.Engine.Crashed dump ->
+    checks "digest" want (recover_and_check dump)
+
+let test_crash_via_injector () =
+  (* The [Crash] exception kind arrives through the regular injector
+     plumbing (a Fault_occur event), not just the LSN/cycle triggers. *)
+  let spec, program = workload "pbzip2" 0.02 in
+  let want = spec.Workloads.Workload.digest (Gprs.Engine.run ~lint:`Off (gprs_cfg ()) program) in
+  let cfg =
+    {
+      (gprs_cfg ()) with
+      Gprs.Engine.wal_stable = true;
+      injector =
+        Faults.Injector.config ~seed:3 ~kinds:[ Faults.Injector.Crash ] 200_000.0;
+    }
+  in
+  match Gprs.Engine.run ~lint:`Off cfg program with
+  | _ -> Alcotest.fail "injected crash never fired"
+  | exception Gprs.Engine.Crashed dump ->
+    checks "digest" want (recover_and_check dump)
+
+let test_mangled_wal_refused () =
+  let _, program = workload "pbzip2" 0.02 in
+  let cfg = { (gprs_cfg ()) with Gprs.Engine.crash_lsn = Some 60 } in
+  match Gprs.Engine.run ~lint:`Off cfg program with
+  | _ -> Alcotest.fail "crash never fired"
+  | exception Gprs.Engine.Crashed dump ->
+    let mangle s =
+      (* damage a mid-log record: recovery must refuse, not guess *)
+      let b = Bytes.of_string s in
+      Bytes.set b (String.length s / 2) '#';
+      Bytes.to_string b
+    in
+    checkb "refused" true
+      (match Recovery.recover ~mangle dump with
+      | _ -> false
+      | exception Wal.Corrupt _ -> true)
+
+(* --- Sweeps ------------------------------------------------------------ *)
+
+let sweep_leg name scale scheme =
+  let spec, program = workload name scale in
+  let r =
+    Recovery.sweep_gprs ~leg:name
+      ~cfg:(gprs_cfg ~ordering:scheme ())
+      ~digest:spec.Workloads.Workload.digest program
+  in
+  checkb
+    (Format.asprintf "%a" Recovery.pp_report r)
+    true (Recovery.leg_ok r);
+  checkb "points enumerated" true (r.Recovery.points_total > 0)
+
+let test_sweep_histogram_rr () = sweep_leg "histogram" 0.05 Gprs.Order.Round_robin
+let test_sweep_histogram_bal () = sweep_leg "histogram" 0.05 Gprs.Order.Balance_aware
+let test_sweep_histogram_wt () = sweep_leg "histogram" 0.05 Gprs.Order.Weighted
+let test_sweep_pbzip2_rr () = sweep_leg "pbzip2" 0.02 Gprs.Order.Round_robin
+let test_sweep_pbzip2_bal () = sweep_leg "pbzip2" 0.02 Gprs.Order.Balance_aware
+let test_sweep_pbzip2_wt () = sweep_leg "pbzip2" 0.02 Gprs.Order.Weighted
+
+let test_sweep_sampled () =
+  let spec, program = workload "pbzip2" 0.05 in
+  let r =
+    Recovery.sweep_gprs ~sample:12 ~sample_seed:9 ~leg:"sampled"
+      ~cfg:(gprs_cfg ()) ~digest:spec.Workloads.Workload.digest program
+  in
+  checkb "ok" true (Recovery.leg_ok r);
+  Alcotest.(check int) "ran the sample" 12 r.Recovery.points_run;
+  checkb "sampled strictly" true (r.Recovery.points_total > 12)
+
+let test_sweep_pcpr_leg () =
+  let spec, program = workload "pbzip2" 0.02 in
+  let image, _ = Recovery.pilot ~cfg:(gprs_cfg ()) program in
+  let a = Recovery.analyze image in
+  let cycles =
+    List.map snd a.Recovery.points |> List.sort_uniq compare
+  in
+  let r =
+    Recovery.sweep_pcpr ~leg:"pcpr"
+      ~cfg:{ Cpr.default_config with Cpr.n_contexts = 4; seed = 3 }
+      ~digest:spec.Workloads.Workload.digest ~crash_cycles:cycles program
+  in
+  checkb (Format.asprintf "%a" Recovery.pp_report r) true (Recovery.leg_ok r)
+
+let suite =
+  [
+    Alcotest.test_case "wal: stable image round-trips" `Quick
+      test_stable_roundtrip;
+    Alcotest.test_case "wal: corruption detected" `Quick
+      test_corrupt_image_detected;
+    Alcotest.test_case "stable arming is invisible" `Quick
+      test_stable_invisible;
+    Alcotest.test_case "crash at cycle, recover, digest" `Quick
+      test_crash_at_cycle;
+    Alcotest.test_case "crash via injector kind" `Quick
+      test_crash_via_injector;
+    Alcotest.test_case "mangled WAL refused" `Quick test_mangled_wal_refused;
+    Alcotest.test_case "sweep histogram round-robin" `Quick
+      test_sweep_histogram_rr;
+    Alcotest.test_case "sweep histogram balance-aware" `Quick
+      test_sweep_histogram_bal;
+    Alcotest.test_case "sweep histogram weighted" `Quick
+      test_sweep_histogram_wt;
+    Alcotest.test_case "sweep pbzip2 round-robin" `Slow test_sweep_pbzip2_rr;
+    Alcotest.test_case "sweep pbzip2 balance-aware" `Slow
+      test_sweep_pbzip2_bal;
+    Alcotest.test_case "sweep pbzip2 weighted" `Slow test_sweep_pbzip2_wt;
+    Alcotest.test_case "sweep seeded sample" `Quick test_sweep_sampled;
+    Alcotest.test_case "sweep p-cpr comparison leg" `Quick
+      test_sweep_pcpr_leg;
+  ]

@@ -80,9 +80,19 @@ let test_monotonic_times () =
   in
   checkb "monotonic" true (mono evs)
 
+(* Pins the documented default: injector.mli, DESIGN.md and the paper's
+   Â§3.3 sensitivity analysis all quote 40,000 cycles. *)
+let test_default_latency () =
+  Alcotest.(check int) "default_config" 40_000
+    Faults.Injector.default_config.Faults.Injector.detection_latency;
+  Alcotest.(check int) "config 1.0" 40_000
+    (Faults.Injector.config 1.0).Faults.Injector.detection_latency
+
 let suite =
   [
     Alcotest.test_case "disabled" `Quick test_disabled;
+    Alcotest.test_case "default detection latency is 40k" `Quick
+      test_default_latency;
     Alcotest.test_case "periodic spacing" `Quick test_periodic_spacing;
     Alcotest.test_case "latency applied" `Quick test_latency_applied;
     Alcotest.test_case "ctx in range" `Quick test_ctx_in_range;

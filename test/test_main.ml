@@ -17,5 +17,6 @@ let () =
       ("integration", Test_integration.suite);
       ("fusion", Test_fusion.suite);
       ("pool", Test_pool.suite);
+      ("crash", Test_crash.suite);
       ("properties", Props.suite);
     ]
