@@ -10,7 +10,7 @@ gates: more than F x its baseline (default 1.5 — fused dispatch bought
 enough headroom to gate the ratio tightly) AND more than an absolute
 slack above it (default 0.25 s for experiment wall-clock, 500 ns for
 micro ns/run, 2M words for alloc minor_words, 500 us for mean cold
-recovery). The alloc section gates GC minor words per run — the pooled
+recovery, 100 ms for the static race/lint pass). The alloc section gates GC minor words per run — the pooled
 boundary path must stay allocation-free; promoted_words is reported but
 never gated (it wobbles with minor-heap phase). The recovery section
 gates mean host seconds per cold recovery over a crashsweep leg —
@@ -50,7 +50,11 @@ def index(run):
         (r["leg"], r["contexts"], round(r["scale"], 4)): r["mean_recovery_s"]
         for r in run.get("recovery", [])
     }
-    return exps, micro, alloc, recovery
+    lint = {
+        (l["name"], l["contexts"], round(l["scale"], 4)): l["wall_ms"]
+        for l in run.get("lint", [])
+    }
+    return exps, micro, alloc, recovery, lint
 
 
 def compare(kind, base, new, factor, abs_slack):
@@ -92,11 +96,14 @@ def main():
     ap.add_argument("--abs-slack-recovery-s", type=float, default=500e-6,
                     help="mean cold-recovery seconds must also regress by "
                          "more than this to fail (default 500e-6)")
+    ap.add_argument("--abs-slack-lint-ms", type=float, default=100.0,
+                    help="static race/lint pass wall ms must also regress "
+                         "by more than this to fail (default 100)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
-    base_exps, base_micro, base_alloc, base_rec = index(base)
-    new_exps, new_micro, new_alloc, new_rec = index(new)
+    base_exps, base_micro, base_alloc, base_rec, base_lint = index(base)
+    new_exps, new_micro, new_alloc, new_rec, new_lint = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
     failures = compare("experiment", base_exps, new_exps, args.factor,
@@ -107,6 +114,8 @@ def main():
                         args.abs_slack_words)
     failures += compare("recovery", base_rec, new_rec, args.factor,
                         args.abs_slack_recovery_s)
+    failures += compare("lint", base_lint, new_lint, args.factor,
+                        args.abs_slack_lint_ms)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

@@ -41,6 +41,13 @@ type alloc_entry = {
   a_promoted_words : float;
 }
 
+type lint_entry = {
+  l_name : string;
+  l_contexts : int;
+  l_scale : float;
+  l_wall_ms : float;
+}
+
 type recovery_entry = {
   r_leg : string;
   r_contexts : int;
@@ -243,6 +250,52 @@ let recovery_profile ~quick =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis profile: full lint + race pass per workload         *)
+(* ------------------------------------------------------------------ *)
+
+(* The race pass dual-probes every Work body inside the abstract
+   interpreter's sandbox, so its cost scales with probe fuel burned, not
+   program text; this keeps the lockset analysis cheap enough to stay a
+   pre-run default. One warm-up pass (lazy workload tables), then the
+   median of three timed passes — host wall-clock is the thing being
+   gated, and a median shrugs off one scheduler hiccup. *)
+let lint_profile ~quick =
+  let contexts = 8 in
+  let scale = if quick then 0.05 else 0.1 in
+  let entries =
+    List.map
+      (fun spec ->
+        let program =
+          spec.Workloads.Workload.build ~n_contexts:contexts
+            ~grain:Workloads.Workload.Default ~scale
+        in
+        ignore (Lint.Race.program program);
+        let sample () =
+          let t0 = Unix.gettimeofday () in
+          ignore (Lint.Race.program program);
+          1000.0 *. (Unix.gettimeofday () -. t0)
+        in
+        let ms =
+          match List.sort compare [ sample (); sample (); sample () ] with
+          | [ _; med; _ ] -> med
+          | _ -> assert false
+        in
+        {
+          l_name = "lint:" ^ spec.Workloads.Workload.name;
+          l_contexts = contexts;
+          l_scale = scale;
+          l_wall_ms = ms;
+        })
+      Workloads.Suite.all
+  in
+  Format.fprintf ppf "=== Static race/lint pass per workload (wall ms) ===@.";
+  List.iter
+    (fun l -> Format.fprintf ppf "%-36s %10.2f ms@." l.l_name l.l_wall_ms)
+    entries;
+  Format.fprintf ppf "@.";
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch-mix profile (--profile)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -437,7 +490,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~micro ~profile =
+let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
+    ~profile =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -477,6 +531,14 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~micro ~profile =
         (if i = List.length recovery - 1 then "" else ","))
     recovery;
   p "  ],\n";
+  p "  \"lint\": [\n";
+  List.iteri
+    (fun i l ->
+      p "    {\"name\": \"%s\", \"contexts\": %d, \"scale\": %.4f, \"wall_ms\": %.3f}%s\n"
+        (json_escape l.l_name) l.l_contexts l.l_scale l.l_wall_ms
+        (if i = List.length lints - 1 then "" else ","))
+    lints;
+  p "  ],\n";
   p "  \"micro\": [\n";
   List.iteri
     (fun i m ->
@@ -508,11 +570,12 @@ let main json jobs quick profile =
   let experiments = print_experiments ~jobs ~quick in
   let alloc = alloc_profile ~quick in
   let recovery = recovery_profile ~quick in
+  let lints = lint_profile ~quick in
   let prof = if profile then profile_mix ~quick else [] in
   let micro = run_micro ~quick in
   match json with
   | Some path ->
-    write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~micro
+    write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
       ~profile:prof
   | None -> ()
 

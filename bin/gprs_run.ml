@@ -126,9 +126,9 @@ let run workload engine contexts scale seed rate grain ordering interval
 
 (* --- lint subcommand -------------------------------------------------- *)
 
-let lint_one ~verbose workload contexts scale grain =
+let lint_one ~verbose ~json workload contexts scale grain =
   let _, program = build_workload workload contexts scale grain in
-  let diags = Lint.Check.program program in
+  let diags = Lint.Race.program program in
   let shown =
     if verbose then diags
     else
@@ -136,21 +136,116 @@ let lint_one ~verbose workload contexts scale grain =
         (fun d -> d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
         diags
   in
-  Format.printf "%a"
-    (Lint.Render.pp ~title:(Printf.sprintf "gprs_run lint %s" workload))
-    shown;
+  if json then
+    Format.printf "{\"workload\":\"%s\",\"diagnostics\":%a}"
+      (Lint.Render.json_escape workload)
+      Lint.Render.pp_json shown
+  else
+    Format.printf "%a"
+      (Lint.Render.pp ~title:(Printf.sprintf "gprs_run lint %s" workload))
+      shown;
   Lint.Check.has_errors diags
 
-let lint_cmd_run workload contexts scale grain verbose =
+let lint_cmd_run workload contexts scale grain verbose json =
   let targets =
     if workload = "all" then Workloads.Suite.names else [ workload ]
   in
+  if json then Format.printf "[";
   let any_errors =
     List.fold_left
-      (fun acc w -> lint_one ~verbose w contexts scale grain || acc)
-      false targets
+      (fun acc w ->
+        if json && acc <> None then Format.printf ",@.";
+        let e = lint_one ~verbose ~json w contexts scale grain in
+        Some (Option.value acc ~default:false || e))
+      None targets
+    |> Option.value ~default:false
   in
+  if json then Format.printf "]@.";
   if any_errors then Stdlib.exit 1
+
+(* --- racecheck subcommand --------------------------------------------- *)
+
+(* Cross-validated race detection: the static lockset pass over the
+   program, then a dynamic run with the FastTrack sanitizer enabled.
+   The paper's selective-restart guarantee (§3.3) assumes cross-thread
+   dependences are mediated by tracked sync; either detector finding a
+   race voids that assumption, so any report exits 1. *)
+let run_engine ~engine ~contexts ~seed program =
+  match engine with
+  | "pthreads" ->
+    Exec.Baseline.run
+      { Exec.Baseline.default_config with n_contexts = contexts; seed }
+      program
+  | "cpr" ->
+    Cpr.run { Cpr.default_config with n_contexts = contexts; seed } program
+  | "gprs" ->
+    Gprs.Engine.run ~lint:`Off
+      { Gprs.Engine.default_config with n_contexts = contexts; seed }
+      program
+  | other -> failwith (Printf.sprintf "unknown engine %S" other)
+
+let report_json r =
+  Printf.sprintf
+    "{\"addr\":%d,\"kind\":\"%s\",\"tid1\":%d,\"pc1\":%d,\"tid2\":%d,\"pc2\":%d,\"proc2\":\"%s\"}"
+    r.Exec.Tsan.addr
+    (Exec.Tsan.kind_label r.Exec.Tsan.kind)
+    r.Exec.Tsan.tid1 r.Exec.Tsan.pc1 r.Exec.Tsan.tid2 r.Exec.Tsan.pc2
+    (Lint.Render.json_escape r.Exec.Tsan.proc2)
+
+let racecheck_one ~json ~engine workload contexts scale grain seed =
+  let _, program = build_workload workload contexts scale grain in
+  let static_races =
+    List.filter
+      (fun d -> d.Lint.Diagnostic.kind = Lint.Diagnostic.Race_unprotected)
+      (Lint.Race.program program)
+  in
+  let was = Exec.Tsan.enabled () in
+  Exec.Tsan.set_enabled true;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Exec.Tsan.set_enabled was)
+      (fun () -> run_engine ~engine ~contexts ~seed program)
+  in
+  let dynamic = result.Exec.State.races in
+  if json then
+    Format.printf
+      "{\"workload\":\"%s\",\"engine\":\"%s\",\"static\":%a,\"dynamic\":[%s]}"
+      (Lint.Render.json_escape workload)
+      engine Lint.Render.pp_json static_races
+      (String.concat "," (List.map report_json dynamic))
+  else begin
+    Format.printf "racecheck %s (engine %s, %d contexts, seed %d, scale %g)@."
+      workload engine contexts seed scale;
+    (match static_races with
+    | [] -> Format.printf "  static : clean@."
+    | ds ->
+      Format.printf "  static : %d unprotected-race finding(s)@."
+        (List.length ds);
+      Format.printf "%a" (Lint.Render.pp ~title:"static races") ds);
+    match dynamic with
+    | [] -> Format.printf "  dynamic: clean@."
+    | rs ->
+      Format.printf "  dynamic: %d race(s) observed@." (List.length rs);
+      List.iter (fun r -> Format.printf "    %a@." Exec.Tsan.pp_report r) rs
+  end;
+  static_races <> [] || dynamic <> []
+
+let racecheck_run workload engine contexts scale grain seed json =
+  let targets =
+    if workload = "all" then Workloads.Suite.names else [ workload ]
+  in
+  if json then Format.printf "[";
+  let any =
+    List.fold_left
+      (fun acc w ->
+        if json && acc <> None then Format.printf ",@.";
+        let r = racecheck_one ~json ~engine w contexts scale grain seed in
+        Some (Option.value acc ~default:false || r))
+      None targets
+    |> Option.value ~default:false
+  in
+  if json then Format.printf "]@.";
+  if any then Stdlib.exit 1
 
 (* --- crashsweep subcommand -------------------------------------------- *)
 
@@ -290,16 +385,43 @@ let lint_verbose =
        & info [ "verbose"; "v" ]
            ~doc:"Also print info-severity findings (barrier coverage, ...).")
 
+let json_flag =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:
+             "Emit machine-readable JSON (kind, proc, pc, sites) instead of \
+              the ASCII table.")
+
 let lint_cmd =
   let doc =
     "statically analyze a workload program: lock discipline, deadlock \
-     order, CPR-region / hybrid-recovery soundness"
+     order, CPR-region / hybrid-recovery soundness, unprotected races"
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
       const lint_cmd_run $ lint_workload_pos $ contexts $ scale $ grain
-      $ lint_verbose)
+      $ lint_verbose $ json_flag)
+
+let racecheck_workload_pos =
+  let doc =
+    Printf.sprintf
+      "Workload to race-check (%s), or $(b,all) for the whole suite."
+      (String.concat ", " Workloads.Suite.names)
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WORKLOAD" ~doc)
+
+let racecheck_cmd =
+  let doc =
+    "cross-validated race detection: static lockset analysis plus a \
+     dynamic vector-clock (FastTrack) sanitized run; exits 1 if either \
+     side reports a race"
+  in
+  Cmd.v
+    (Cmd.info "racecheck" ~doc)
+    Term.(
+      const racecheck_run $ racecheck_workload_pos $ engine $ contexts
+      $ scale $ grain $ seed $ json_flag)
 
 let sweep_workload_pos =
   let doc =
@@ -343,6 +465,6 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "gprs_run" ~doc)
-    [ run_cmd; lint_cmd; crashsweep_cmd ]
+    [ run_cmd; lint_cmd; racecheck_cmd; crashsweep_cmd ]
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -2,6 +2,11 @@ let min_cost = 1
 
 let dur base extra = Stdlib.max min_cost (base + extra)
 
+(* Race-sanitizer happens-before edges; observation only, never charged.
+   Mutex edges live in {!State.set_holder}; word accesses in
+   {!State.env_of}. *)
+let tsan st f = match st.State.tsan with Some ts -> f ts | None -> ()
+
 let exec_work st (tcb : Vm.Tcb.t) ~cost ~run =
   let declared = cost tcb.Vm.Tcb.regs in
   let env = State.env_of st tcb in
@@ -104,6 +109,7 @@ let barrier_arrive st (tcb : Vm.Tcb.t) b =
   let arrived = tid :: br.State.arrived in
   if List.length arrived >= br.State.parties then begin
     br.State.arrived <- [];
+    tsan st (fun ts -> Tsan.on_barrier ts ~b ~parties:arrived);
     let others = List.filter (fun t -> t <> tid) arrived in
     List.iter
       (fun t -> (State.thread st t).Vm.Tcb.wait <- Vm.Tcb.Runnable)
@@ -127,6 +133,7 @@ let barrier_arrive st (tcb : Vm.Tcb.t) b =
 
 let atomic_rmw st (tcb : Vm.Tcb.t) ~var ~rmw ~dst =
   let costs = st.State.costs in
+  tsan st (fun ts -> Tsan.on_atomic ts ~tid:tcb.Vm.Tcb.tid ~var);
   let old = State.read_atomic st var in
   let v = rmw ~old tcb.Vm.Tcb.regs in
   State.write_atomic st var v;
@@ -140,13 +147,17 @@ let fork st (tcb : Vm.Tcb.t) ~group ~proc ~args ~dst =
   let costs = st.State.costs in
   let child = State.spawn st ~group ~proc ~args:(args tcb.Vm.Tcb.regs) in
   tcb.Vm.Tcb.regs.(dst) <- child.Vm.Tcb.tid;
+  tsan st (fun ts ->
+      Tsan.on_spawn ts ~parent:tcb.Vm.Tcb.tid ~child:child.Vm.Tcb.tid);
   (child, dur costs.Vm.Costs.fork_thread 0)
 
 let join st (tcb : Vm.Tcb.t) ~target =
   let costs = st.State.costs in
   let tt = State.thread st target in
   match tt.Vm.Tcb.wait with
-  | Vm.Tcb.Done -> (true, dur costs.Vm.Costs.join 0)
+  | Vm.Tcb.Done ->
+    tsan st (fun ts -> Tsan.on_join ts ~joiner:tcb.Vm.Tcb.tid ~target);
+    (true, dur costs.Vm.Costs.join 0)
   | _ ->
     tt.Vm.Tcb.joiners <- tcb.Vm.Tcb.tid :: tt.Vm.Tcb.joiners;
     tcb.Vm.Tcb.wait <- Vm.Tcb.On_join target;
@@ -159,7 +170,9 @@ let exit_thread st (tcb : Vm.Tcb.t) =
   let joiners = tcb.Vm.Tcb.joiners in
   tcb.Vm.Tcb.joiners <- [];
   List.iter
-    (fun j -> (State.thread st j).Vm.Tcb.wait <- Vm.Tcb.Runnable)
+    (fun j ->
+      tsan st (fun ts -> Tsan.on_join ts ~joiner:j ~target:tcb.Vm.Tcb.tid);
+      (State.thread st j).Vm.Tcb.wait <- Vm.Tcb.Runnable)
     joiners;
   (joiners, dur costs.Vm.Costs.join 0)
 
@@ -168,6 +181,9 @@ let alloc st (tcb : Vm.Tcb.t) ~size ~dst =
   let n = size tcb.Vm.Tcb.regs in
   let a = Vm.Mem.alloc st.State.mem n in
   tcb.Vm.Tcb.regs.(dst) <- a;
+  (* fresh block: erase stale shadows so address reuse across threads
+     cannot fabricate races *)
+  tsan st (fun ts -> Tsan.on_alloc ts ~addr:a ~size:n);
   (a, dur costs.Vm.Costs.alloc 0)
 
 let free_ st (tcb : Vm.Tcb.t) ~addr =
@@ -179,4 +195,5 @@ let free_ st (tcb : Vm.Tcb.t) ~addr =
     | None -> invalid_arg "Sem.free_: not an allocated block"
   in
   Vm.Mem.free st.State.mem a;
+  tsan st (fun ts -> Tsan.on_free ts ~addr:a ~size);
   (size, dur costs.Vm.Costs.free 0)

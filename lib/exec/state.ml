@@ -20,6 +20,7 @@ type 'ev t = {
   output_handles : (string * Vm.Io.file) list;
   blocks : Vm.Block.t;
   mutable on_io_grow : (Vm.Io.file -> int -> unit) option;
+  tsan : Tsan.t option;
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
@@ -79,6 +80,13 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     output_handles;
     blocks = Vm.Block.analyze program;
     on_io_grow = None;
+    tsan =
+      (if Tsan.enabled () then
+         Some
+           (Tsan.create ~mem_words:program.mem_words
+              ~n_mutexes:program.n_mutexes ~n_atomics:program.n_atomics
+              ~n_barriers:(Array.length program.barrier_parties))
+       else None);
   }
 
 let thread t tid =
@@ -112,6 +120,17 @@ let spawn t ~group ~proc ~args =
    mutexes at every sub-thread boundary. *)
 let set_holder t m newh =
   let mu = t.mutexes.(m) in
+  (match t.tsan with
+  | None -> ()
+  | Some ts ->
+    (* release -> acquire is the happens-before edge; set_holder is the
+       single choke point every grant path goes through *)
+    (match mu.holder with
+    | Some h when Some h <> newh -> Tsan.on_release ts ~tid:h ~m
+    | Some _ | None -> ());
+    (match newh with
+    | Some w when mu.holder <> newh -> Tsan.on_acquire ts ~tid:w ~m
+    | Some _ | None -> ()));
   (match mu.holder with
   | Some h when Some h <> newh -> Vm.Tcb.unhold (thread t h) m
   | Some _ | None -> ());
@@ -129,6 +148,13 @@ let note_undo t key ~old =
       Sim.Stats.incr t.stats "ckpt.cow_words"
     end
 
+let tsan_access t (tcb : Vm.Tcb.t) hook a =
+  match t.tsan with
+  | Some ts when not tcb.Vm.Tcb.in_cpr_region ->
+    hook ts ~tid:tcb.Vm.Tcb.tid ~pc:tcb.Vm.Tcb.pc
+      ~proc:tcb.Vm.Tcb.proc.Vm.Isa.pname ~addr:a
+  | Some _ | None -> ()
+
 let env_of t (tcb : Vm.Tcb.t) =
   let costs = t.costs in
   {
@@ -137,10 +163,12 @@ let env_of t (tcb : Vm.Tcb.t) =
     read =
       (fun a ->
         t.acc_cost <- t.acc_cost + costs.Vm.Costs.mem_access;
+        tsan_access t tcb Tsan.on_read a;
         Vm.Mem.read t.mem a);
     write =
       (fun a v ->
         t.acc_cost <- t.acc_cost + costs.Vm.Costs.mem_access;
+        tsan_access t tcb Tsan.on_write a;
         note_undo t (Undo_log.K_mem a) ~old:(Vm.Mem.read t.mem a);
         Vm.Mem.write t.mem a v);
     file_size = (fun f -> Vm.Io.size t.io f);
@@ -187,6 +215,7 @@ type run_result = {
   run_stats : Sim.Stats.t;
   outputs : (string * int array) list;
   final_mem : Vm.Mem.t;
+  races : Tsan.report list;
 }
 
 let mk_result t ~dnc =
@@ -198,4 +227,5 @@ let mk_result t ~dnc =
     outputs =
       List.map (fun (name, f) -> (name, Vm.Io.contents t.io f)) t.output_handles;
     final_mem = t.mem;
+    races = (match t.tsan with Some ts -> Tsan.reports ts | None -> []);
   }

@@ -37,6 +37,9 @@ type 'ev t = {
       (** Fired when a tracked write grows a file ([file], words grown) —
           the file-metadata change [Wal.Io_op] records. The GPRS engine
           appends to its WAL here; other engines leave it [None]. *)
+  tsan : Tsan.t option;
+      (** Race sanitizer, created per run when {!Tsan.enabled} at
+          {!create} time; [None] costs nothing on any path. *)
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
@@ -97,6 +100,7 @@ type run_result = {
   run_stats : Sim.Stats.t;
   outputs : (string * int array) list;  (** declared output files *)
   final_mem : Vm.Mem.t;
+  races : Tsan.report list;  (** empty unless the sanitizer was enabled *)
 }
 
 val mk_result : 'ev t -> dnc:bool -> run_result

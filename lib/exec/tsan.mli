@@ -1,0 +1,64 @@
+(** FastTrack-style vector-clock data-race sanitizer.
+
+    Wired into the shared executor ({!State.env_of} word accesses,
+    {!State.set_holder} mutex transitions, and the {!Sem} fork / join /
+    exit / barrier / atomic / allocator helpers), so all three engines
+    are covered by the same instance. Purely observational: no simulated
+    cycles, stats or PRNG draws — disabled runs are bit-identical to a
+    build without it.
+
+    Enabled by [GPRS_TSAN=1] (any non-empty value other than ["0"]) or
+    programmatically via {!set_enabled} (the [gprs_run racecheck]
+    subcommand and the cross-validation tests). The flag is read at
+    {!State.create} time: each run owns a fresh sanitizer, so crash
+    restarts and repeated runs in one process cannot alias shadows.
+
+    Accesses made with the TCB's [in_cpr_region] flag set are exempt:
+    hybrid recovery (§3.5) never selectively squashes such regions, so
+    their (intentional) races — canneal's nonstd-atomic spin gates — are
+    not soundness bugs. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+type kind = Write_write | Read_write | Write_read
+
+val kind_label : kind -> string
+
+type report = {
+  addr : int;
+  kind : kind;
+  tid1 : int;  (** prior access *)
+  pc1 : int;
+  tid2 : int;  (** current access *)
+  pc2 : int;
+  proc2 : string;  (** proc of the current (reporting) thread *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+type t
+
+val create : mem_words:int -> n_mutexes:int -> n_atomics:int -> n_barriers:int -> t
+
+val reports : t -> report list
+(** Reports in discovery order, deduplicated per (addr, tids, site) and
+    capped; see {!dropped}. *)
+
+val dropped : t -> int
+(** Reports suppressed past the cap. *)
+
+(** {1 Hooks} — called by {!State} / {!Sem}; no-ops are the caller's
+    responsibility (they only invoke these when a sanitizer instance
+    exists and the thread is outside any CPR region). *)
+
+val on_read : t -> tid:int -> pc:int -> proc:string -> addr:int -> unit
+val on_write : t -> tid:int -> pc:int -> proc:string -> addr:int -> unit
+val on_acquire : t -> tid:int -> m:int -> unit
+val on_release : t -> tid:int -> m:int -> unit
+val on_atomic : t -> tid:int -> var:int -> unit
+val on_spawn : t -> parent:int -> child:int -> unit
+val on_join : t -> joiner:int -> target:int -> unit
+val on_barrier : t -> b:int -> parties:int list -> unit
+val on_alloc : t -> addr:int -> size:int -> unit
+val on_free : t -> addr:int -> size:int -> unit

@@ -103,7 +103,7 @@ let probe_fuel = 50_000
    of untouched addresses and all file contents are salt-dependent, and
    the tid differs between probes so tid-derived values demote to Top.
    Every operation burns fuel; exhaustion raises {!Out_of_fuel}. *)
-let sandbox_env ~salt regs =
+let sandbox_env ?(on_read = fun _ -> ()) ?(on_write = fun _ -> ()) ~salt regs =
   let written : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let files : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
   let h x = ((x * 0x9E3779B9) + salt) land 0x3FFF_FFFF in
@@ -118,10 +118,12 @@ let sandbox_env ~salt regs =
     read =
       (fun a ->
         burn ();
+        on_read a;
         match Hashtbl.find_opt written a with Some v -> v | None -> h (a + 1));
     write =
       (fun a v ->
         burn ();
+        on_write a;
         Hashtbl.replace written a v);
     file_size =
       (fun fd ->

@@ -66,6 +66,16 @@ type ctx = {
       (* (held, then-acquired) -> first site *)
   barrier_reach : (int, string list ref) Hashtbl.t;
       (* barrier id -> procs with a reachable arrival (discovery order) *)
+  collect : bool;
+      (* record access/fork facts for the race pass (costlier probes) *)
+  accesses : (string * int, lock list * int * Races.summary) Hashtbl.t;
+      (* (proc, pc) -> (lockset, cpr depth, access summary), overwritten
+         on each fixpoint visit. Overwrite-last is sound: along the
+         fixpoint locksets only shrink, registers only rise to Top (so
+         summaries only get more conservative) and reachability grows. *)
+  forks : (string * int, string) Hashtbl.t;  (* fork site -> target *)
+  fuel_sites : (string * int, unit) Hashtbl.t;
+      (* Work sites whose probe ran out of fuel at least once *)
 }
 
 let report ?(tag = 0) ctx ~severity ~kind ~proc ~pc ~instr msg =
@@ -194,7 +204,16 @@ let analyze_proc ctx (proc : Vm.Isa.proc) ~entry_regs ~on_fork =
   let step pc s =
     match code.(pc) with
     | Vm.Isa.Work { run; _ } ->
-      push ~from:pc (pc + 1) { s with regs = Absval.eval_work s.regs run }
+      let p =
+        Races.probe_work ~record:ctx.collect
+          ~mem_words:ctx.prog.Vm.Isa.mem_words s.regs run
+      in
+      if p.Races.fuel_exhausted then
+        Hashtbl.replace ctx.fuel_sites (pname, pc) ();
+      if ctx.collect then
+        Hashtbl.replace ctx.accesses (pname, pc)
+          (s.locks, s.cpr, p.Races.summary);
+      push ~from:pc (pc + 1) { s with regs = p.Races.regs }
     | Vm.Isa.Opaque _ ->
       (* Third-party code: unknown register effects. *)
       push ~from:pc (pc + 1)
@@ -336,6 +355,7 @@ let analyze_proc ctx (proc : Vm.Isa.proc) ~entry_regs ~on_fork =
                 (if i < Array.length argv then argv.(i) else Absval.Known 0))
             child
         | None -> ());
+        if ctx.collect then Hashtbl.replace ctx.forks (pname, pc) target;
         on_fork target child);
       push ~from:pc (pc + 1) (set_reg_top s dst)
     | Vm.Isa.Join _ ->
@@ -556,22 +576,83 @@ let check_lock_order ctx =
            (if List.length samples > List.length shown then "; ..." else "")))
     !sccs
 
+(* Per-proc "analysis degraded to Top" notes for probe fuel exhaustion:
+   a body whose effects the probe could not afford to observe folds its
+   registers to all-Top and its access summary to unknown, so both the
+   discipline checks and the race pass are blinder at that proc. *)
+let note_fuel ctx =
+  let per_proc : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (p, pc) () ->
+      match Hashtbl.find_opt per_proc p with
+      | Some l -> l := pc :: !l
+      | None -> Hashtbl.replace per_proc p (ref [ pc ]))
+    ctx.fuel_sites;
+  Hashtbl.iter
+    (fun p l ->
+      let pcs = List.sort compare !l in
+      let shown = List.filteri (fun i _ -> i < 4) pcs in
+      (* Info, not Warning: this notes reduced *analysis* coverage, not a
+         program defect — the engines' pre-run hook and the default lint
+         table hide Info, while --verbose and --json surface it. *)
+      report ctx ~severity:Diagnostic.Info ~kind:Diagnostic.Probe_fuel
+        ~proc:p ~pc:(-1) ~instr:"work"
+        (Printf.sprintf
+           "%d Work site%s (pc %s%s) exhausted the %d-operation probe \
+            budget: register effects and access summaries degraded to Top \
+            at this proc"
+           (List.length pcs)
+           (if List.length pcs = 1 then "" else "s")
+           (String.concat ", " (List.map string_of_int shown))
+           (if List.length pcs > List.length shown then ", ..." else "")
+           Absval.probe_fuel))
+    per_proc
+
 (* --- public API ------------------------------------------------------- *)
 
-let program (prog : Vm.Isa.program) =
+type facts = {
+  f_entry : string;
+  f_accesses : (string * int * lock list * int * Races.summary) list;
+      (* (proc, pc, lockset, cpr depth, summary) at each [Work] site *)
+  f_forks : (string * int * string) list;  (* (forker, pc, target) *)
+}
+
+let driver ~collect (prog : Vm.Isa.program) =
   let ctx =
     {
       prog;
       diags = Hashtbl.create 32;
       lock_edges = Hashtbl.create 32;
       barrier_reach = Hashtbl.create 8;
+      collect;
+      accesses = Hashtbl.create 64;
+      forks = Hashtbl.create 16;
+      fuel_sites = Hashtbl.create 4;
     }
   in
   analyze ctx;
   check_barriers ctx;
   check_lock_order ctx;
+  note_fuel ctx;
   let all = Hashtbl.fold (fun _ d acc -> d :: acc) ctx.diags [] in
-  List.sort Diagnostic.compare all
+  let facts =
+    {
+      f_entry = prog.Vm.Isa.entry;
+      f_accesses =
+        Hashtbl.fold
+          (fun (p, pc) (locks, cpr, s) acc -> (p, pc, locks, cpr, s) :: acc)
+          ctx.accesses []
+        |> List.sort compare;
+      f_forks =
+        Hashtbl.fold (fun (p, pc) t acc -> (p, pc, t) :: acc) ctx.forks []
+        |> List.sort compare;
+    }
+  in
+  (List.sort Diagnostic.compare all, facts)
+
+let program prog = fst (driver ~collect:false prog)
+
+let program_facts prog = driver ~collect:true prog
 
 let errors diags =
   List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags

@@ -28,8 +28,28 @@ exception Rejected of Diagnostic.t list
 (** Raised by strict-mode callers (see {!Gprs.Engine.run}) to refuse
     executing a program with error-severity findings. *)
 
+type lock = Lk of int | Lunk
+(** An abstract lockset element: a statically-resolved mutex id, or a
+    mutex whose id did not resolve (dynamically chosen). [Lunk] can never
+    prove two sites share a lock. *)
+
+type facts = {
+  f_entry : string;
+  f_accesses : (string * int * lock list * int * Races.summary) list;
+      (** [(proc, pc, lockset, cpr_depth, summary)] for every reachable
+          [Work] site, under the last (most conservative) dataflow state
+          the fixpoint computed there *)
+  f_forks : (string * int * string) list;
+      (** [(forker, pc, target)] for every reachable [Fork] site *)
+}
+(** Dataflow facts exported for the race pass (see {!Race}). *)
+
 val program : Vm.Isa.program -> Diagnostic.t list
 (** Analyze a program. Never raises; returns sorted diagnostics. *)
+
+val program_facts : Vm.Isa.program -> Diagnostic.t list * facts
+(** As {!program}, additionally collecting per-site access summaries and
+    fork sites for the Eraser-style race pass ({!Race.program}). *)
 
 val errors : Diagnostic.t list -> Diagnostic.t list
 (** Just the [Error]-severity findings. *)

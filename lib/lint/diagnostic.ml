@@ -22,6 +22,8 @@ type kind =
   | Unforked_proc
   | Implicit_exit
   | Analysis_budget
+  | Race_unprotected
+  | Probe_fuel
 
 type t = {
   severity : severity;
@@ -62,6 +64,8 @@ let kind_label = function
   | Unforked_proc -> "unforked-proc"
   | Implicit_exit -> "implicit-exit"
   | Analysis_budget -> "analysis-budget-exhausted"
+  | Race_unprotected -> "race-unprotected"
+  | Probe_fuel -> "probe-fuel-exhausted"
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 

@@ -41,6 +41,14 @@ type kind =
   | Unforked_proc  (** informational: proc is neither entry nor forked *)
   | Implicit_exit  (** control can fall off the end of the code array *)
   | Analysis_budget  (** fixpoint iteration cap hit; results are partial *)
+  | Race_unprotected
+      (** two concurrent accesses to an overlapping may-access region,
+          at least one a write, with no common statically-provable lock:
+          an untracked dependence, so selective squash is unsound *)
+  | Probe_fuel
+      (** a [Work]-body probe ran out of fuel: its register effects and
+          access summary degraded to all-[Top], hiding precision that
+          also coarsens race detection at this proc *)
 
 type t = {
   severity : severity;

@@ -18,5 +18,6 @@ let () =
       ("fusion", Test_fusion.suite);
       ("pool", Test_pool.suite);
       ("crash", Test_crash.suite);
+      ("race", Test_race.suite);
       ("properties", Props.suite);
     ]
