@@ -340,7 +340,8 @@ let profile_mix ~quick =
           (fun (k, _) ->
             prefixed ~prefix:"dispatch." k
             || prefixed ~prefix:"fuse." k
-            || prefixed ~prefix:"pool." k)
+            || prefixed ~prefix:"pool." k
+            || prefixed ~prefix:"compile." k)
           assoc
       in
       let dispatch = List.filter (fun (k, _) -> prefixed ~prefix:"dispatch." k) entries in
@@ -357,8 +358,11 @@ let profile_mix ~quick =
         (List.sort (fun (_, a) (_, b) -> compare b a) dispatch);
       List.iter
         (fun (k, v) ->
-          if prefixed ~prefix:"fuse.len." k || prefixed ~prefix:"pool." k then
-            Format.fprintf ppf "  %-24s %12.0f@." k v)
+          if
+            prefixed ~prefix:"fuse.len." k
+            || prefixed ~prefix:"pool." k
+            || prefixed ~prefix:"compile." k
+          then Format.fprintf ppf "  %-24s %12.0f@." k v)
         entries;
       Format.fprintf ppf "@.";
       List.map (fun (k, v) -> { p_engine = engine; p_key = k; p_value = v }) entries)

@@ -57,6 +57,14 @@ let print_profile (r : Exec.State.run_result) =
       if prefixed ~prefix:"fuse.len." k then
         Format.printf "  %-24s %12.0f@." k v)
     assoc;
+  (* Trace-compiler effectiveness: superblocks built at load, closure
+     entries, instructions committed per entry, and guard/horizon deopt
+     counts. *)
+  let compile = List.filter (fun (k, _) -> prefixed ~prefix:"compile." k) assoc in
+  if compile <> [] then begin
+    Format.printf "compile (GPRS_NO_COMPILE=1 disables trace compilation):@.";
+    List.iter (fun (k, v) -> Format.printf "  %-24s %12.1f@." k v) compile
+  end;
   (* Pool effectiveness (gprs only): sub-thread record reuse and
      event-queue cell recycling, plus the live high-water mark. *)
   let pool = List.filter (fun (k, _) -> prefixed ~prefix:"pool." k) assoc in

@@ -669,8 +669,8 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
          changes at event pops). No pending delay can accrue mid-chain:
          delays are added at token grants and fills, neither of which
          targets a thread that is running on a context. *)
-      let horizon = fault_horizon eng in
-      let keep_going s = s <= eng.budget && s < horizon in
+      let b = if eng.budget = max_int then max_int else eng.budget + 1 in
+      let horizon = Stdlib.min b (fault_horizon eng) in
       let sub = cur_sub_opt eng tid in
       let on_fused (pr : Vm.Block.probe) i =
         match sub with
@@ -683,9 +683,24 @@ and dispatch eng ctx (tcb : Vm.Tcb.t) =
             Sim.Stats.incr st.Exec.State.stats "gprs.opaque_calls"
           | _ -> ())
       in
+      (* Per-compiled-entry form of [on_fused]: the latch, the
+         last-writer dependence flag and the additive counter land
+         identically whether applied per instruction or per entry. *)
+      let on_trace ~steps:_ ~opaques ~last_opaque_in_cpr ~entered_cpr =
+        match sub with
+        | None -> ()
+        | Some sub ->
+          if entered_cpr then sub.Subthread.cpr_region <- true;
+          if opaques > 0 then begin
+            sub.Subthread.global_dep <- not last_opaque_in_cpr;
+            Sim.Stats.add st.Exec.State.stats "gprs.opaque_calls" opaques
+          end
+      in
       let vend =
-        Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going ~on_fused
+        Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~horizon ~on_fused
+          ~on_trace
           ~vstart:(t0 + Stdlib.max Exec.Sem.min_cost first)
+          ()
       in
       schedule_tick eng ctx ~after:(vend - t0)
     end

@@ -301,15 +301,24 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     let quantum = st.Exec.State.costs.Vm.Costs.quantum in
     (* Strict on the alarm and report horizons: at those instants the
        alarm/report event outranks the tick (lower priority value), so
-       the unfused engine quiesces or restores before dispatching. *)
-    let keep_going s =
-      s <= eng.budget && s < eng.alarm_time && s < eng.next_report_time
-      && (s - started < quantum || (q_empty && s < t_next))
+       the unfused engine quiesces or restores before dispatching. All
+       inputs are constant for the hop, so the deopt predicate folds
+       into one integer bound. *)
+    let b = if eng.budget = max_int then max_int else eng.budget + 1 in
+    let sched_h =
+      let q = started + quantum in
+      if q_empty && t_next > q then t_next else q
+    in
+    let horizon =
+      Stdlib.min
+        (Stdlib.min b eng.alarm_time)
+        (Stdlib.min eng.next_report_time sched_h)
     in
     let vend =
-      Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going
+      Exec.Fuse.run_chain st tcb ~instrs:eng.instrs ~horizon
         ~on_fused:(fun _ _ -> ())
         ~vstart:(t0 + Stdlib.max Exec.Sem.min_cost (!ctrl + d))
+        ()
     in
     note_work eng tcb.Vm.Tcb.tid (vend - t0);
     schedule_tick eng ctx ~after:(vend - t0)

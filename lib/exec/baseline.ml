@@ -144,14 +144,20 @@ let dispatch eng ctx (tcb : Vm.Tcb.t) =
     in
     let started = eng.started.(ctx) in
     let quantum = st.State.costs.Vm.Costs.quantum in
-    let keep_going s =
-      s <= eng.budget
-      && (s - started < quantum || (q_empty && s < t_next))
+    (* Fold the deopt predicate into one bound: [s <= budget &&
+       (s - started < quantum || (q_empty && s < t_next))] is [s <
+       horizon] because every input is constant for the hop. *)
+    let b = if eng.budget = max_int then max_int else eng.budget + 1 in
+    let sched_h =
+      let q = started + quantum in
+      if q_empty && t_next > q then t_next else q
     in
+    let horizon = Stdlib.min b sched_h in
     let vend =
-      Fuse.run_chain st tcb ~instrs:eng.instrs ~keep_going
+      Fuse.run_chain st tcb ~instrs:eng.instrs ~horizon
         ~on_fused:(fun _ _ -> ())
         ~vstart:(t0 + Stdlib.max Sem.min_cost (!ctrl + d))
+        ()
     in
     schedule_tick eng ctx ~after:(vend - t0)
   end

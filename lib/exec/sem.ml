@@ -1,4 +1,4 @@
-let min_cost = 1
+let min_cost = Vm.Costs.min_instr_cost
 
 let dur base extra = Stdlib.max min_cost (base + extra)
 

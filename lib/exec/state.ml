@@ -21,6 +21,9 @@ type 'ev t = {
   blocks : Vm.Block.t;
   mutable on_io_grow : (Vm.Io.file -> int -> unit) option;
   tsan : Tsan.t option;
+  mutable envs : Vm.Env.t option array;
+  mutable cursor : Vm.Block.cursor option;
+  mutable last_decode : (Vm.Isa.proc * Vm.Block.proc_blocks) option;
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
@@ -51,6 +54,7 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
       ~args:[||]
   in
   let threads = Array.make 16 main in
+  let stats = Sim.Stats.create () in
   {
     program;
     costs;
@@ -72,13 +76,17 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     n_threads = 1;
     live_threads = 1;
     evq = Sim.Event_queue.create ();
-    stats = Sim.Stats.create ();
+    stats;
     trace = Sim.Trace.create ~capacity:trace_capacity ();
     prng = Sim.Prng.create seed;
     current_undo = None;
     acc_cost = 0;
     output_handles;
-    blocks = Vm.Block.analyze program;
+    blocks =
+      (let b = Vm.Block.analyze program in
+       if !Vm.Block.profiling && Vm.Block.compiling () then
+         Sim.Stats.add stats "compile.superblocks" (Vm.Block.n_compiled b);
+       b);
     on_io_grow = None;
     tsan =
       (if Tsan.enabled () then
@@ -87,6 +95,9 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
               ~n_mutexes:program.n_mutexes ~n_atomics:program.n_atomics
               ~n_barriers:(Array.length program.barrier_parties))
        else None);
+    envs = Array.make 16 None;
+    cursor = None;
+    last_decode = None;
   }
 
 let thread t tid =
@@ -155,7 +166,7 @@ let tsan_access t (tcb : Vm.Tcb.t) hook a =
       ~proc:tcb.Vm.Tcb.proc.Vm.Isa.pname ~addr:a
   | Some _ | None -> ()
 
-let env_of t (tcb : Vm.Tcb.t) =
+let make_env t (tcb : Vm.Tcb.t) =
   let costs = t.costs in
   {
     Vm.Env.tid = tcb.Vm.Tcb.tid;
@@ -190,10 +201,63 @@ let env_of t (tcb : Vm.Tcb.t) =
         Vm.Io.write t.io f ~off v);
   }
 
+(* Envs are memoized per tid: every hook reads the machine's mutable
+   state ([current_undo], the CPR flag, [pc]) at call time, so a cached
+   env behaves identically to a fresh one — this removes a 7-closure
+   allocation per Work instruction on every engine's hot path. The
+   physical-equality guard on the register file invalidates the cache if
+   a tid is ever rebound to a different TCB (each TCB owns its regs). *)
+let env_of t (tcb : Vm.Tcb.t) =
+  let tid = tcb.Vm.Tcb.tid in
+  if tid >= Array.length t.envs then begin
+    let n = Stdlib.max (2 * Array.length t.envs) (tid + 1) in
+    let envs' = Array.make n None in
+    Array.blit t.envs 0 envs' 0 (Array.length t.envs);
+    t.envs <- envs'
+  end;
+  match t.envs.(tid) with
+  | Some e when e.Vm.Env.regs == tcb.Vm.Tcb.regs -> e
+  | _ ->
+    let e = make_env t tcb in
+    t.envs.(tid) <- Some e;
+    e
+
 let take_acc_cost t =
   let c = t.acc_cost in
   t.acc_cost <- 0;
   c
+
+(* The trace-compiler cursor is allocated once per state and retargeted
+   per hop; compiled closures thread all their execution state through
+   it, so entering a superblock allocates nothing. Retargeting is a
+   physical-equality check in the common consecutive-hops-same-thread
+   case. *)
+let cursor t (tcb : Vm.Tcb.t) =
+  match t.cursor with
+  | Some cu ->
+    if cu.Vm.Block.cu_tcb != tcb then begin
+      cu.Vm.Block.cu_tcb <- tcb;
+      cu.Vm.Block.cu_env <- env_of t tcb
+    end;
+    cu
+  | None ->
+    let cu =
+      Vm.Block.make_cursor ~tcb ~env:(env_of t tcb)
+        ~take_acc:(fun () -> take_acc_cost t)
+    in
+    t.cursor <- Some cu;
+    cu
+
+(* Per-proc fused-block decode with a one-entry memo: consecutive hops
+   overwhelmingly stay in one proc, so the common case skips the
+   name-keyed hashtable lookup. *)
+let decode_of t (proc : Vm.Isa.proc) =
+  match t.last_decode with
+  | Some (p, info) when p == proc -> info
+  | _ ->
+    let info = Vm.Block.proc_info t.blocks proc in
+    t.last_decode <- Some (proc, info);
+    info
 
 let read_atomic t v = t.atomics.(v)
 

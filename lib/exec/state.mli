@@ -40,6 +40,12 @@ type 'ev t = {
   tsan : Tsan.t option;
       (** Race sanitizer, created per run when {!Tsan.enabled} at
           {!create} time; [None] costs nothing on any path. *)
+  mutable envs : Vm.Env.t option array;
+      (** per-tid memoized tracked envs (see {!env_of}); grows *)
+  mutable cursor : Vm.Block.cursor option;
+      (** lazily created trace-compiler cursor (see {!cursor}) *)
+  mutable last_decode : (Vm.Isa.proc * Vm.Block.proc_blocks) option;
+      (** one-entry per-proc decode memo (see {!decode_of}) *)
 }
 
 and mutex = { mutable holder : int option; mutable mwaiters : Fifo.t }
@@ -74,7 +80,16 @@ val set_holder : 'ev t -> int -> int option -> unit
 val env_of : 'ev t -> Vm.Tcb.t -> Vm.Env.t
 (** Tracked environment for the thread: reads/writes charge
     {!Vm.Costs.t.mem_access} into [acc_cost] and route pre-images into
-    [current_undo]. *)
+    [current_undo]. Memoized per tid (all hooks read mutable machine
+    state at call time, so caching is semantics-preserving). *)
+
+val cursor : 'ev t -> Vm.Tcb.t -> Vm.Block.cursor
+(** The state's trace-compiler cursor, retargeted at [tcb] (TCB + cached
+    env installed; the caller seeds clock, horizon and accumulators).
+    Allocated once per state. *)
+
+val decode_of : 'ev t -> Vm.Isa.proc -> Vm.Block.proc_blocks
+(** {!Vm.Block.proc_info} with a one-entry physical-equality memo. *)
 
 val take_acc_cost : 'ev t -> int
 (** Drain the accrued tracked-access cost (reset to 0). *)

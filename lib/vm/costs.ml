@@ -1,3 +1,9 @@
+(* Floor charged for any dispatched instruction (1 cycle): guarantees
+   simulated-time progress for control-flow-only loops. Module-level (not
+   part of the table) because the trace compiler bakes it into compiled
+   closures at program load. *)
+let min_instr_cost = 1
+
 type t = {
   cycles_per_second : int;
   mem_access : int;

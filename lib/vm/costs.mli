@@ -12,6 +12,12 @@
     seconds while preserving the relative magnitudes that drive the
     results. *)
 
+val min_instr_cost : int
+(** Floor charged for any dispatched instruction (1 cycle). Exposed at
+    module level — rather than in the table — because the trace compiler
+    bakes it into compiled closures at program load; [Exec.Sem.min_cost]
+    re-exports it for the interpreted paths. *)
+
 type t = {
   cycles_per_second : int;  (** wall-clock conversion for rates *)
   mem_access : int;  (** per tracked shared-memory read or write *)

@@ -60,8 +60,13 @@ val touch : t -> addr -> bool
 type image
 (** A page-granular snapshot of the data words, dirty-tracked: after the
     first (full) sync, re-syncing through {!capture} copies only pages
-    written since. Allocator metadata is not included — pair with
-    {!save_alloc}. *)
+    written since. Syncs walk a dirty-page journal (one entry per page
+    per epoch, recorded at write time) rather than scanning the page
+    table, so a checkpoint costs O(pages written this interval), not
+    O(total pages); the page-table scan remains as the fallback once the
+    journal resets (it is dropped when it outgrows the page table).
+    Copied-word counts are identical either way. Allocator metadata is
+    not included — pair with {!save_alloc}. *)
 
 val alloc_image : t -> image
 (** A fresh, never-synced image: the next {!capture} into it copies every

@@ -23,13 +23,14 @@ type t = {
   barrier_done : int array;
 }
 
-type saved = {
-  mutable s_pc : int;
-  s_regs : int array;
-  mutable s_in_cpr : bool;
-  mutable s_lock_depth : int;
-  s_barrier_seq : int array;
-}
+(* Flat unboxed snapshot: one int array, blit-copied whole. Layout:
+   [0] pc, [1] CPR flag (0/1), [2] lock depth, [3 .. 3+R) registers,
+   [3+R ..) barrier_seq. Register and barrier array lengths are fixed
+   per program, so the offsets are stable across every snapshot of a
+   run. *)
+type saved = int array
+
+let regs_off = 3
 
 let create ~n_barriers ~tid ~group ~proc ~args =
   let regs = Array.make Isa.n_registers 0 in
@@ -54,21 +55,20 @@ let current_instr t =
     Some t.proc.Isa.code.(t.pc)
   else None
 
-let copy_state t =
-  {
-    s_pc = t.pc;
-    s_regs = Array.copy t.regs;
-    s_in_cpr = t.in_cpr_region;
-    s_lock_depth = t.lock_depth;
-    s_barrier_seq = Array.copy t.barrier_seq;
-  }
-
 let copy_state_into t s =
-  s.s_pc <- t.pc;
-  Array.blit t.regs 0 s.s_regs 0 (Array.length t.regs);
-  s.s_in_cpr <- t.in_cpr_region;
-  s.s_lock_depth <- t.lock_depth;
-  Array.blit t.barrier_seq 0 s.s_barrier_seq 0 (Array.length t.barrier_seq)
+  let r = Array.length t.regs in
+  s.(0) <- t.pc;
+  s.(1) <- (if t.in_cpr_region then 1 else 0);
+  s.(2) <- t.lock_depth;
+  Array.blit t.regs 0 s regs_off r;
+  Array.blit t.barrier_seq 0 s (regs_off + r) (Array.length t.barrier_seq)
+
+let copy_state t =
+  let s =
+    Array.make (regs_off + Array.length t.regs + Array.length t.barrier_seq) 0
+  in
+  copy_state_into t s;
+  s
 
 (* The held set is kept sorted by descending mutex index — the order the
    old O(#mutexes) table scan produced — so checkpoint capture can alias
@@ -90,13 +90,17 @@ let unhold t m =
   t.held_mutexes <- rm t.held_mutexes
 
 let restore_state t s =
-  t.pc <- s.s_pc;
-  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
-  t.in_cpr_region <- s.s_in_cpr;
-  t.lock_depth <- s.s_lock_depth;
-  Array.blit s.s_barrier_seq 0 t.barrier_seq 0 (Array.length t.barrier_seq)
+  let r = Array.length t.regs in
+  t.pc <- s.(0);
+  t.in_cpr_region <- s.(1) <> 0;
+  t.lock_depth <- s.(2);
+  Array.blit s regs_off t.regs 0 r;
+  Array.blit s (regs_off + r) t.barrier_seq 0 (Array.length t.barrier_seq)
 
-let saved_words s = 2 + Array.length s.s_regs + Array.length s.s_barrier_seq
+(* pc + regs + barrier_seq + one word for the packed flags — the same
+   2 + R + B the boxed snapshot charged, so checkpoint-cost stats are
+   unchanged. *)
+let saved_words s = Array.length s - 1
 
 let pp_wait ppf = function
   | Runnable -> Format.pp_print_string ppf "runnable"

@@ -45,7 +45,8 @@ type t = {
 
 type saved
 (** Opaque snapshot of the restartable state (pc + registers + region and
-    nesting flags). *)
+    nesting flags), stored as one flat unboxed [int array] so recycling
+    a snapshot is two [Array.blit]s with no per-field boxing. *)
 
 val create :
   n_barriers:int -> tid:int -> group:int -> proc:Isa.proc -> args:int array -> t

@@ -16,6 +16,7 @@ let () =
       ("lint", Test_lint.suite);
       ("integration", Test_integration.suite);
       ("fusion", Test_fusion.suite);
+      ("compile", Test_compile.suite);
       ("pool", Test_pool.suite);
       ("crash", Test_crash.suite);
       ("race", Test_race.suite);
