@@ -10,7 +10,8 @@ gates: more than F x its baseline (default 1.5 — fused dispatch bought
 enough headroom to gate the ratio tightly) AND more than an absolute
 slack above it (default 0.25 s for experiment wall-clock, 500 ns for
 micro ns/run, 2M words for alloc minor_words, 500 us for mean cold
-recovery, 100 ms for the static race/lint pass). The alloc section gates GC minor words per run — the pooled
+recovery, 100 ms for the static race/lint pass, 500 ms for the
+intra-run-parallelism fig11 wall legs). The alloc section gates GC minor words per run — the pooled
 boundary path must stay allocation-free; promoted_words is reported but
 never gated (it wobbles with minor-heap phase). The recovery section
 gates mean host seconds per cold recovery over a crashsweep leg —
@@ -54,7 +55,12 @@ def index(run):
         (l["name"], l["contexts"], round(l["scale"], 4)): l["wall_ms"]
         for l in run.get("lint", [])
     }
-    return exps, micro, alloc, recovery, lint
+    par = {}
+    for e in run.get("par", []):
+        key = (e["name"], e["contexts"], round(e["scale"], 4))
+        par[key + ("j1",)] = e["wall_j1_ms"]
+        par[key + (f"j{e['jobs']}",)] = e["wall_jn_ms"]
+    return exps, micro, alloc, recovery, lint, par
 
 
 def compare(kind, base, new, factor, abs_slack):
@@ -99,11 +105,16 @@ def main():
     ap.add_argument("--abs-slack-lint-ms", type=float, default=100.0,
                     help="static race/lint pass wall ms must also regress "
                          "by more than this to fail (default 100)")
+    ap.add_argument("--abs-slack-par-ms", type=float, default=500.0,
+                    help="intra-run-parallelism fig11 wall ms must also "
+                         "regress by more than this to fail (default 500; "
+                         "the floor is wide because multi-domain wall time "
+                         "is scheduler- and core-count-dependent)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
-    base_exps, base_micro, base_alloc, base_rec, base_lint = index(base)
-    new_exps, new_micro, new_alloc, new_rec, new_lint = index(new)
+    base_exps, base_micro, base_alloc, base_rec, base_lint, base_par = index(base)
+    new_exps, new_micro, new_alloc, new_rec, new_lint, new_par = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
     failures = compare("experiment", base_exps, new_exps, args.factor,
@@ -116,6 +127,8 @@ def main():
                         args.abs_slack_recovery_s)
     failures += compare("lint", base_lint, new_lint, args.factor,
                         args.abs_slack_lint_ms)
+    failures += compare("par", base_par, new_par, args.factor,
+                        args.abs_slack_par_ms)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

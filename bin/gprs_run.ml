@@ -71,11 +71,20 @@ let print_profile (r : Exec.State.run_result) =
   if pool <> [] then begin
     Format.printf "pool (GPRS_NO_POOL=1 disables recycling):@.";
     List.iter (fun (k, v) -> Format.printf "  %-24s %12.0f@." k v) pool
+  end;
+  (* Intra-run parallelism (--par-j / GPRS_PAR_J): speculative windows
+     leased to worker domains, and how many survived commit. *)
+  let par = List.filter (fun (k, _) -> prefixed ~prefix:"par." k) assoc in
+  if par <> [] then begin
+    Format.printf "par (%d jobs; windows committed replace whole hops):@."
+      (Exec.Par.jobs ());
+    List.iter (fun (k, v) -> Format.printf "  %-24s %12.0f@." k v) par
   end
 
 let run workload engine contexts scale seed rate grain ordering interval
-    show_stats profile strict_lint no_lint =
+    show_stats profile strict_lint no_lint par_j =
   if profile then Vm.Block.set_profiling true;
+  (match par_j with Some j -> Exec.Par.set_jobs j | None -> ());
   let spec, program = build_workload workload contexts scale grain in
   match cli_lint ~strict_lint ~no_lint program with
   | `Refuse ->
@@ -371,10 +380,20 @@ let no_lint =
   Arg.(value & flag
        & info [ "no-lint" ] ~doc:"Skip the pre-execution GPRS-lint pass.")
 
+let par_j =
+  Arg.(value & opt (some int) None
+       & info [ "par-j" ]
+           ~doc:
+             "Worker domains for intra-run parallelism (including the \
+              coordinator); 1 runs sequentially. Overrides $(b,GPRS_PAR_J). \
+              The simulated result is identical for every value; only \
+              wall-clock changes.")
+
 let run_term =
   Term.(
     const run $ workload $ engine $ contexts $ scale $ seed $ rate $ grain
-    $ ordering $ interval $ stats $ profile_flag $ strict_lint $ no_lint)
+    $ ordering $ interval $ stats $ profile_flag $ strict_lint $ no_lint
+    $ par_j)
 
 let run_cmd =
   let doc = "run one workload under pthreads / CPR / GPRS" in

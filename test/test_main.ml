@@ -20,5 +20,6 @@ let () =
       ("pool", Test_pool.suite);
       ("crash", Test_crash.suite);
       ("race", Test_race.suite);
+      ("par", Test_par.suite);
       ("properties", Props.suite);
     ]

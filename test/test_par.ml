@@ -1,0 +1,361 @@
+(* Intra-run parallelism must be a pure wall-clock transformation:
+   every observable of a run — output digest, simulated cycles, DNC
+   flag, and every statistic except the par.* counters themselves —
+   must be bit-identical between -j 1 (sequential dispatch) and -j N
+   (speculative windows on worker domains), for all three engines,
+   under faults, crashes and cold restart. Directed tests pin down the
+   squash path, the coordinator-fallback path, and the
+   serialize-under-TSAN rule actually firing. *)
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let n_contexts = 4
+let scale = 0.08
+let par_n = 4
+
+let build (spec : Workloads.Workload.spec) =
+  spec.Workloads.Workload.build ~n_contexts ~grain:Workloads.Workload.Default
+    ~scale
+
+let prefixed ~prefix k =
+  String.length k >= String.length prefix
+  && String.sub k 0 (String.length prefix) = prefix
+
+type obs = {
+  o_digest : string;
+  o_cycles : int;
+  o_dnc : bool;
+  o_stats : (string * float) list;
+}
+
+let observe digest (r : Exec.State.run_result) =
+  {
+    o_digest = digest r;
+    o_cycles = r.Exec.State.sim_cycles;
+    o_dnc = r.Exec.State.dnc;
+    o_stats =
+      List.filter
+        (fun (k, _) -> not (prefixed ~prefix:"par." k))
+        (Sim.Stats.to_assoc r.Exec.State.run_stats);
+  }
+
+let with_par_jobs j f =
+  let saved = Exec.Par.jobs () in
+  Exec.Par.set_jobs j;
+  Fun.protect ~finally:(fun () -> Exec.Par.set_jobs saved) f
+
+(* Windows ride on fused dispatch, so force it on even when the suite
+   runs under GPRS_NO_FUSE=1 — otherwise the parallel leg would be
+   trivially sequential and the test vacuous. *)
+let with_fusing_on f =
+  let saved = Vm.Block.fusing () in
+  Vm.Block.set_fusing true;
+  Fun.protect ~finally:(fun () -> Vm.Block.set_fusing saved) f
+
+let with_profiling f =
+  Vm.Block.set_profiling true;
+  Fun.protect ~finally:(fun () -> Vm.Block.set_profiling false) f
+
+(* Run [f] at -j 1 and -j N; [f] must build its own program so each leg
+   gets fresh mutable memory. *)
+let both_legs f =
+  (with_par_jobs par_n f, with_par_jobs 1 f)
+
+let explain_stats_diff a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) b.o_stats;
+  let diffs =
+    List.filter_map
+      (fun (k, v) ->
+        match Hashtbl.find_opt tbl k with
+        | Some v' when v = v' -> None
+        | Some v' -> Some (Printf.sprintf "%s: par=%g seq=%g" k v v')
+        | None -> Some (Printf.sprintf "%s: par=%g seq=absent" k v))
+      a.o_stats
+  in
+  let missing =
+    List.filter_map
+      (fun (k, v) ->
+        if List.mem_assoc k a.o_stats then None
+        else Some (Printf.sprintf "%s: par=absent seq=%g" k v))
+      b.o_stats
+  in
+  String.concat "; " (diffs @ missing)
+
+let check_identical name (par, seq) =
+  checks (name ^ ": digest") seq.o_digest par.o_digest;
+  Alcotest.(check int) (name ^ ": sim_cycles") seq.o_cycles par.o_cycles;
+  checkb (name ^ ": dnc") seq.o_dnc par.o_dnc;
+  if par.o_stats <> seq.o_stats then
+    Alcotest.failf "%s: stats differ — %s" name (explain_stats_diff par seq)
+
+(* Same fault-tolerance tuning as test_integration / test_compile. *)
+let gprs_k = function
+  | "blackscholes" | "swaptions" | "barnes-hut" -> 1.2
+  | "canneal" -> 3.0
+  | _ -> 6.0
+
+let rate_for ?cap ~k ~base () =
+  let base_s =
+    Sim.Time.to_seconds
+      ~cycles_per_second:Vm.Costs.default.Vm.Costs.cycles_per_second base
+  in
+  let r = k /. base_s in
+  match cap with Some c -> Float.min c r | None -> r
+
+let baseline_cycles spec =
+  (Exec.Baseline.run
+     { Exec.Baseline.default_config with n_contexts }
+     (build spec))
+    .Exec.State.sim_cycles
+
+(* --- all workloads, all three engines, fault-free and faulty ---------- *)
+
+let test_baseline_all_workloads () =
+  with_fusing_on @@ fun () ->
+  List.iter
+    (fun (spec : Workloads.Workload.spec) ->
+      let digest = spec.Workloads.Workload.digest in
+      let legs =
+        both_legs (fun () ->
+            observe digest
+              (Exec.Baseline.run
+                 { Exec.Baseline.default_config with n_contexts }
+                 (build spec)))
+      in
+      check_identical ("baseline/" ^ spec.Workloads.Workload.name) legs)
+    Workloads.Suite.all
+
+let test_gprs_all_workloads_with_faults () =
+  with_fusing_on @@ fun () ->
+  List.iter
+    (fun (spec : Workloads.Workload.spec) ->
+      let name = spec.Workloads.Workload.name in
+      let base = baseline_cycles spec in
+      let legs =
+        both_legs (fun () ->
+            observe spec.Workloads.Workload.digest
+              (Gprs.Engine.run
+                 {
+                   Gprs.Engine.default_config with
+                   n_contexts;
+                   injector =
+                     Faults.Injector.config (rate_for ~k:(gprs_k name) ~base ());
+                   max_cycles = Some (300 * base);
+                 }
+                 (build spec)))
+      in
+      check_identical ("gprs/" ^ name) legs)
+    Workloads.Suite.all
+
+let test_cpr_all_workloads_with_faults () =
+  with_fusing_on @@ fun () ->
+  List.iter
+    (fun (spec : Workloads.Workload.spec) ->
+      let name = spec.Workloads.Workload.name in
+      let base = baseline_cycles spec in
+      let legs =
+        both_legs (fun () ->
+            observe spec.Workloads.Workload.digest
+              (Cpr.run
+                 {
+                   Cpr.default_config with
+                   n_contexts;
+                   checkpoint_interval = 0.002;
+                   injector =
+                     Faults.Injector.config (rate_for ~cap:25.0 ~k:2.0 ~base ());
+                   max_cycles = Some (300 * base);
+                 }
+                 (build spec)))
+      in
+      check_identical ("cpr/" ^ name) legs)
+    Workloads.Suite.all
+
+(* --- crash-restart: the WAL crash sweep under both legs ---------------- *)
+
+let test_crash_sweep_both_legs () =
+  with_fusing_on @@ fun () ->
+  let spec = Workloads.Suite.find "histogram" in
+  let program =
+    spec.Workloads.Workload.build ~n_contexts ~grain:Workloads.Workload.Default
+      ~scale:0.05
+  in
+  let sweep leg =
+    Recovery.sweep_gprs ~leg
+      ~cfg:{ Gprs.Engine.default_config with n_contexts; seed = 3 }
+      ~digest:spec.Workloads.Workload.digest program
+  in
+  let par = with_par_jobs par_n (fun () -> sweep "par") in
+  let seq = with_par_jobs 1 (fun () -> sweep "seq") in
+  checkb (Format.asprintf "%a" Recovery.pp_report par) true (Recovery.leg_ok par);
+  checkb (Format.asprintf "%a" Recovery.pp_report seq) true (Recovery.leg_ok seq);
+  Alcotest.(check int)
+    "same crash points" seq.Recovery.points_total par.Recovery.points_total;
+  checkb "points enumerated" true (par.Recovery.points_total > 0)
+
+(* --- directed: windows actually commit --------------------------------- *)
+
+(* pbzip2 under GPRS is the window scheduler's bread and butter: token
+   grants leave threads parked exactly at Work landings. The committed
+   counter is host-timing-dependent, so rather than assert a count from
+   one run, retry a few times and demand that windows engage at least
+   once — while every run stays bit-identical to the sequential leg. *)
+let test_windows_commit () =
+  with_fusing_on @@ fun () ->
+  with_profiling @@ fun () ->
+  let spec = Workloads.Suite.find "pbzip2" in
+  let run () =
+    Gprs.Engine.run
+      { Gprs.Engine.default_config with n_contexts = 8 }
+      (spec.Workloads.Workload.build ~n_contexts:8
+         ~grain:Workloads.Workload.Default ~scale:1.0)
+  in
+  let seq = with_par_jobs 1 (fun () -> observe spec.Workloads.Workload.digest (run ())) in
+  let committed = ref 0.0 in
+  let attempts = 20 in
+  let i = ref 0 in
+  while !committed = 0.0 && !i < attempts do
+    incr i;
+    let r = with_par_jobs par_n run in
+    check_identical "windows commit"
+      (observe spec.Workloads.Workload.digest r, seq);
+    committed :=
+      !committed +. float_of_int (Sim.Stats.get r.Exec.State.run_stats "par.committed")
+  done;
+  (* Under GPRS_TSAN=1 windows are serialized away entirely, so only the
+     bit-identity above is checkable. *)
+  if not (Exec.Tsan.enabled ()) then
+    checkb
+      (Printf.sprintf "some window committed within %d runs" attempts)
+      true (!committed > 0.0)
+
+(* --- directed: conflicting windows squash, the run stays exact --------- *)
+
+(* canneal's random swaps make threads read locations other threads
+   write, so speculative windows keep failing read validation; the run
+   must stay bit-identical anyway, with every consumed window accounted
+   committed, squashed or fallen back. *)
+let test_squash_is_sound () =
+  with_fusing_on @@ fun () ->
+  with_profiling @@ fun () ->
+  let spec = Workloads.Suite.find "canneal" in
+  let run () =
+    Gprs.Engine.run
+      { Gprs.Engine.default_config with n_contexts = 8 }
+      (spec.Workloads.Workload.build ~n_contexts:8
+         ~grain:Workloads.Workload.Fine ~scale:0.5)
+  in
+  let seq = with_par_jobs 1 (fun () -> observe spec.Workloads.Workload.digest (run ())) in
+  let r = with_par_jobs par_n run in
+  check_identical "squash soundness"
+    (observe spec.Workloads.Workload.digest r, seq);
+  let stat k = Sim.Stats.get r.Exec.State.run_stats k in
+  checkb "window accounting closes" true
+    (stat "par.committed" + stat "par.squashed" <= stat "par.windows")
+
+(* --- directed: non-fusible landings stay on the coordinator ------------ *)
+
+(* A lock-convoy program: every hop starts at a Lock, so no window is
+   ever leased for it — the conservative fallback leg is the whole run.
+   The parallel leg must still be exact, with zero windows. *)
+let test_coordinator_fallback () =
+  with_fusing_on @@ fun () ->
+  with_profiling @@ fun () ->
+  let program () = Tprog.locked_counter ~work:50 ~workers:4 ~iters:30 () in
+  let digest (r : Exec.State.run_result) =
+    string_of_int (Vm.Mem.read r.Exec.State.final_mem 0)
+  in
+  let run () =
+    Exec.Baseline.run
+      { Exec.Baseline.default_config with n_contexts }
+      (program ())
+  in
+  let seq = with_par_jobs 1 (fun () -> observe digest (run ())) in
+  let r = with_par_jobs par_n run in
+  check_identical "coordinator fallback" (observe digest r, seq);
+  checks "counter value" "120" (digest r)
+
+(* --- serialize-under-TSAN: the pinned choice --------------------------- *)
+
+let test_tsan_serializes () =
+  with_par_jobs par_n @@ fun () ->
+  let was = Exec.Tsan.enabled () in
+  Exec.Tsan.set_enabled true;
+  Fun.protect ~finally:(fun () -> Exec.Tsan.set_enabled was) @@ fun () ->
+  Alcotest.(check int) "effective_jobs forced to 1" 1 (Exec.Par.effective_jobs ());
+  (* And a full sanitized run must neither crash nor drift. *)
+  with_fusing_on @@ fun () ->
+  let spec = Workloads.Suite.find "histogram" in
+  let run () =
+    Gprs.Engine.run
+      { Gprs.Engine.default_config with n_contexts }
+      (build spec)
+  in
+  let par = observe spec.Workloads.Workload.digest (run ()) in
+  let seq = with_par_jobs 1 (fun () -> observe spec.Workloads.Workload.digest (run ())) in
+  check_identical "tsan serialized run" (par, seq)
+
+let test_effective_jobs_restored () =
+  with_par_jobs 3 @@ fun () ->
+  Alcotest.(check int) "set_jobs visible" 3 (Exec.Par.jobs ());
+  Alcotest.(check int) "effective = requested unless tsan serializes"
+    (if Exec.Tsan.enabled () then 1 else 3)
+    (Exec.Par.effective_jobs ())
+
+(* --- property: random compute programs, -j 1 ≡ -j N -------------------- *)
+
+let qcase ?(count = 10) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let obs_equal a b =
+  a.o_digest = b.o_digest && a.o_cycles = b.o_cycles && a.o_dnc = b.o_dnc
+  && a.o_stats = b.o_stats
+
+let mem_digest (r : Exec.State.run_result) =
+  string_of_int (Vm.Mem.read r.Exec.State.final_mem 0)
+
+let prop_par_invisible =
+  qcase "gprs: -j N ≡ -j 1 on random fork/join + locked programs"
+    QCheck2.Gen.(
+      quad (int_range 2 4) (int_range 2 20) (int_range 20 2_000)
+        (int_range 1 10_000))
+    (fun (workers, iters, work, seed) ->
+      with_fusing_on @@ fun () ->
+      let run () =
+        observe mem_digest
+          (Gprs.Engine.run
+             {
+               Gprs.Engine.default_config with
+               n_contexts;
+               seed;
+               injector =
+                 Faults.Injector.config ~seed ~process:Faults.Injector.Poisson
+                   300.0;
+               max_cycles = Some 2_000_000_000;
+             }
+             (Tprog.locked_counter ~work ~workers ~iters ()))
+      in
+      let par, seq = both_legs run in
+      obs_equal par seq)
+
+let suite =
+  [
+    Alcotest.test_case "baseline: all workloads bit-identical" `Slow
+      test_baseline_all_workloads;
+    Alcotest.test_case "gprs: all workloads + faults bit-identical" `Slow
+      test_gprs_all_workloads_with_faults;
+    Alcotest.test_case "cpr: all workloads + faults bit-identical" `Slow
+      test_cpr_all_workloads_with_faults;
+    Alcotest.test_case "gprs: crash sweep bit-identical" `Slow
+      test_crash_sweep_both_legs;
+    Alcotest.test_case "windows commit on pbzip2" `Quick test_windows_commit;
+    Alcotest.test_case "conflicting windows squash soundly" `Quick
+      test_squash_is_sound;
+    Alcotest.test_case "non-fusible hops stay on the coordinator" `Quick
+      test_coordinator_fallback;
+    Alcotest.test_case "TSAN serializes windows" `Quick test_tsan_serializes;
+    Alcotest.test_case "set_jobs round-trips" `Quick
+      test_effective_jobs_restored;
+    prop_par_invisible;
+  ]
