@@ -11,7 +11,11 @@ enough headroom to gate the ratio tightly) AND more than an absolute
 slack above it (default 0.25 s for experiment wall-clock, 500 ns for
 micro ns/run, 2M words for alloc minor_words, 500 us for mean cold
 recovery, 100 ms for the static race/lint pass, 500 ms for the
-intra-run-parallelism fig11 wall legs). The alloc section gates GC minor words per run — the pooled
+intra-run-parallelism fig11 wall legs, 250 ms for service-mode request
+latencies). The service section additionally carries two
+baseline-independent invariants — zero superblock recompiles and a >= 2x
+cold/warm gap on the warm-cache leg — that fail the comparison outright.
+The alloc section gates GC minor words per run — the pooled
 boundary path must stay allocation-free; promoted_words is reported but
 never gated (it wobbles with minor-heap phase). The recovery section
 gates mean host seconds per cold recovery over a crashsweep leg —
@@ -60,7 +64,30 @@ def index(run):
         key = (e["name"], e["contexts"], round(e["scale"], 4))
         par[key + ("j1",)] = e["wall_j1_ms"]
         par[key + (f"j{e['jobs']}",)] = e["wall_jn_ms"]
-    return exps, micro, alloc, recovery, lint, par
+    service = {}
+    for s in run.get("service", []):
+        key = (s["name"], s["contexts"], round(s["scale"], 4))
+        for metric in ("cold_ms", "warm_ms", "p50_ms", "p99_ms"):
+            service[key + (metric,)] = s[metric]
+    return exps, micro, alloc, recovery, lint, par, service
+
+
+def service_invariants(run):
+    """Baseline-independent gates on the service section: the warm cache
+    must skip superblock compilation entirely and keep at least a 2x
+    per-request win over the cold path (the bench binary enforces the
+    same bounds and aborts, so tripping these here means a hand-edited
+    JSON or a bypassed run)."""
+    failures = []
+    for s in run.get("service", []):
+        label = f"service {s['name']}"
+        if s.get("warm_recompiles", 0) != 0:
+            print(f"  FAIL  {label}: {s['warm_recompiles']} warm recompiles (must be 0)")
+            failures.append(f"{label} warm_recompiles")
+        if s.get("warm_speedup", 0.0) < 2.0:
+            print(f"  FAIL  {label}: warm speedup {s['warm_speedup']:.2f}x < 2x")
+            failures.append(f"{label} warm_speedup")
+    return failures
 
 
 def compare(kind, base, new, factor, abs_slack):
@@ -110,11 +137,19 @@ def main():
                          "regress by more than this to fail (default 500; "
                          "the floor is wide because multi-domain wall time "
                          "is scheduler- and core-count-dependent)")
+    ap.add_argument("--abs-slack-service-ms", type=float, default=250.0,
+                    help="service-mode per-request latency (cold/warm "
+                         "medians, open-loop p50/p99) must also regress by "
+                         "more than this many ms to fail (default 250; the "
+                         "cold path includes a full lint admission pass and "
+                         "open-loop tails are load-sensitive)")
     args = ap.parse_args()
 
     base, new = load(args.baseline), load(args.new)
-    base_exps, base_micro, base_alloc, base_rec, base_lint, base_par = index(base)
-    new_exps, new_micro, new_alloc, new_rec, new_lint, new_par = index(new)
+    (base_exps, base_micro, base_alloc, base_rec, base_lint, base_par,
+     base_svc) = index(base)
+    (new_exps, new_micro, new_alloc, new_rec, new_lint, new_par,
+     new_svc) = index(new)
 
     print(f"comparing {args.new} against {args.baseline} (factor {args.factor})")
     failures = compare("experiment", base_exps, new_exps, args.factor,
@@ -129,6 +164,9 @@ def main():
                         args.abs_slack_lint_ms)
     failures += compare("par", base_par, new_par, args.factor,
                         args.abs_slack_par_ms)
+    failures += compare("service", base_svc, new_svc, args.factor,
+                        args.abs_slack_service_ms)
+    failures += service_invariants(new)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

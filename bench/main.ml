@@ -60,6 +60,19 @@ type par_entry = {
   pr_fallback : float;
 }
 
+type service_entry = {
+  s_name : string;
+  s_contexts : int;
+  s_scale : float;
+  s_cold_ms : float;  (* median request latency, cache cleared each time *)
+  s_warm_ms : float;  (* median request latency, cache primed *)
+  s_warm_speedup : float;
+  s_warm_recompiles : int;  (* Vm.Block analyses during the warm leg *)
+  s_rps : float;
+  s_p50_ms : float;
+  s_p99_ms : float;
+}
+
 type recovery_entry = {
   r_leg : string;
   r_contexts : int;
@@ -391,6 +404,147 @@ let lint_profile ~quick =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Service mode: daemon round-trips, warm vs cold cache, open loop     *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process daemon on a temp Unix socket, driven through the same
+   Server.Client module as `gprs_run client`, at the fig11 micro point
+   (pbzip2, 4 contexts, scale 0.03, 60 faults/s). Three measurements:
+
+   - cold: cache_clear before every request, so each pays decode +
+     superblock compilation + lint admission (median of N round-trips);
+   - warm: cache primed, so dispatch goes straight to execution — the
+     leg runs with Vm.Block's process-wide analysis counter watched,
+     and any recompile, or a warm median worse than half the cold one,
+     aborts the bench (recording a broken cache would poison the
+     baseline);
+   - open-loop arrivals at a fixed rate against the warm cache, each
+     with a distinct seed (distinct work units — coalescing cannot
+     shortcut the measurement): sustained req/s and p50/p99 latency
+     against scheduled arrival times.
+
+   The daemon runs one pool job and no idle quiescing: latencies on the
+   single shared worker are what a saturated single-core service shows,
+   and a mid-leg teardown would charge respawn cost to one unlucky
+   request. *)
+let service_profile ~quick =
+  let contexts = 4 and scale = 0.03 and rate = 60.0 in
+  let n_cold = if quick then 5 else 10 in
+  let n_warm = if quick then 20 else 50 in
+  let n_open = if quick then 30 else 100 in
+  let open_rps = 100.0 in
+  let sock = Filename.temp_file "gprs-bench-" ".sock" in
+  Sys.remove sock;
+  let d =
+    Server.Daemon.start
+      {
+        Server.Daemon.default_config with
+        addr = Server.Daemon.Unix_sock sock;
+        jobs = 1;
+        idle_quiesce_ms = 0;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Server.Daemon.stop d) @@ fun () ->
+  let c = Server.Client.connect (Server.Daemon.Unix_sock sock) in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+  let base =
+    {
+      Server.Scenario.id = "bench";
+      workload = "pbzip2";
+      engine = "gprs";
+      ordering = "balance-aware";
+      contexts;
+      scale;
+      grain = "default";
+      seed = 1;
+      rate;
+      interval = 0.05;
+      want_stats = false;
+    }
+  in
+  let request tag i =
+    let scn =
+      {
+        base with
+        Server.Scenario.id = Printf.sprintf "%s%d" tag i;
+        seed = 1 + i;
+      }
+    in
+    let j, ms = Server.Client.timed_run c scn in
+    (match Server.Json.str ~default:"" "event" j with
+    | Ok "done" -> ()
+    | _ ->
+      failwith
+        (Printf.sprintf "service bench: %s request failed: %s" tag
+           (Server.Json.to_string j)));
+    ms
+  in
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let cold =
+    Array.init n_cold (fun i ->
+        Server.Client.cache_clear c;
+        request "cold" i)
+  in
+  ignore (request "prime" 0);
+  let analyses0 = Vm.Block.analyses () in
+  let warm = Array.init n_warm (fun i -> request "warm" i) in
+  let recompiles = Vm.Block.analyses () - analyses0 in
+  let cold_ms = median cold and warm_ms = median warm in
+  let speedup = if warm_ms > 0.0 then cold_ms /. warm_ms else 0.0 in
+  if recompiles <> 0 then
+    failwith
+      (Printf.sprintf
+         "service bench: %d superblock recompiles on the warm path \
+          (cache must make dispatch skip decode+compile)"
+         recompiles);
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "service bench: warm/cold speedup %.2fx < 2x (warm %.2f ms, \
+          cold %.2f ms)"
+         speedup warm_ms cold_ms);
+  let load =
+    Server.Client.open_loop c
+      ~base:{ base with Server.Scenario.seed = 10_000 }
+      ~n:n_open ~rps:open_rps
+  in
+  if load.Server.Client.failed > 0 then
+    failwith
+      (Printf.sprintf "service bench: %d open-loop request(s) failed"
+         load.Server.Client.failed);
+  Format.fprintf ppf
+    "=== Service mode (daemon, pbzip2 fig11 micro: %d contexts, scale %.2f) ===@."
+    contexts scale;
+  Format.fprintf ppf
+    "cold %8.2f ms/req (cache cleared)   warm %8.2f ms/req   speedup \
+     %.2fx   recompiles %d@."
+    cold_ms warm_ms speedup recompiles;
+  Format.fprintf ppf
+    "open-loop %4.0f rps offered: %7.1f rps served  p50 %7.2f ms  p99 \
+     %7.2f ms  (%d sent, %d failed)@.@."
+    open_rps load.Server.Client.rps load.Server.Client.p50_ms
+    load.Server.Client.p99_ms load.Server.Client.sent
+    load.Server.Client.failed;
+  [
+    {
+      s_name = "service:fig11-micro(pbzip2)";
+      s_contexts = contexts;
+      s_scale = scale;
+      s_cold_ms = cold_ms;
+      s_warm_ms = warm_ms;
+      s_warm_speedup = speedup;
+      s_warm_recompiles = recompiles;
+      s_rps = load.Server.Client.rps;
+      s_p50_ms = load.Server.Client.p50_ms;
+      s_p99_ms = load.Server.Client.p99_ms;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch-mix profile (--profile)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -591,7 +745,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
-    ~par ~profile =
+    ~par ~service ~profile =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -651,6 +805,19 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
         (if i = List.length par - 1 then "" else ","))
     par;
   p "  ],\n";
+  p "  \"service\": [\n";
+  List.iteri
+    (fun i (s : service_entry) ->
+      p
+        "    {\"name\": \"%s\", \"contexts\": %d, \"scale\": %.4f, \
+         \"cold_ms\": %.3f, \"warm_ms\": %.3f, \"warm_speedup\": %.3f, \
+         \"warm_recompiles\": %d, \"rps\": %.2f, \"p50_ms\": %.3f, \
+         \"p99_ms\": %.3f}%s\n"
+        (json_escape s.s_name) s.s_contexts s.s_scale s.s_cold_ms s.s_warm_ms
+        s.s_warm_speedup s.s_warm_recompiles s.s_rps s.s_p50_ms s.s_p99_ms
+        (if i = List.length service - 1 then "" else ","))
+    service;
+  p "  ],\n";
   p "  \"micro\": [\n";
   List.iteri
     (fun i m ->
@@ -675,23 +842,34 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let main json jobs quick profile par_j =
+let main json jobs quick profile par_j service_only =
   let jobs =
     if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
   in
   (match par_j with Some j -> Exec.Par.set_jobs j | None -> ());
-  let experiments = print_experiments ~jobs ~quick in
-  let alloc = alloc_profile ~quick in
-  let recovery = recovery_profile ~quick in
-  let par = par_profile ~quick ~jobs in
-  let lints = lint_profile ~quick in
-  let prof = if profile then profile_mix ~quick else [] in
-  let micro = run_micro ~quick in
-  match json with
-  | Some path ->
-    write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
-      ~par ~profile:prof
-  | None -> ()
+  if service_only then begin
+    let service = service_profile ~quick in
+    match json with
+    | Some path ->
+      write_json path ~quick ~jobs ~experiments:[] ~alloc:[] ~recovery:[]
+        ~lints:[] ~micro:[] ~par:[] ~service ~profile:[]
+    | None -> ()
+  end
+  else begin
+    let experiments = print_experiments ~jobs ~quick in
+    let alloc = alloc_profile ~quick in
+    let recovery = recovery_profile ~quick in
+    let par = par_profile ~quick ~jobs in
+    let lints = lint_profile ~quick in
+    let service = service_profile ~quick in
+    let prof = if profile then profile_mix ~quick else [] in
+    let micro = run_micro ~quick in
+    match json with
+    | Some path ->
+      write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
+        ~par ~service ~profile:prof
+    | None -> ()
+  end
 
 open Cmdliner
 
@@ -727,9 +905,16 @@ let par_j =
   in
   Arg.(value & opt (some int) None & info [ "par-j" ] ~doc)
 
+let service_only =
+  let doc =
+    "Run only the service-mode section (daemon warm/cold round-trips and \
+     open-loop load); the CI service-smoke job's fast gate."
+  in
+  Arg.(value & flag & info [ "service-only" ] ~doc)
+
 let cmd =
   let doc = "GPRS benchmark harness (paper evaluation + micro-benchmarks)" in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const main $ json $ jobs $ quick $ profile $ par_j)
+    Term.(const main $ json $ jobs $ quick $ profile $ par_j $ service_only)
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -331,6 +331,180 @@ let crashsweep_run workload contexts scale seed sample schemes no_pcpr =
   List.iter (fun r -> Format.printf "%a@." Recovery.pp_report r) reports;
   if not (List.for_all Recovery.leg_ok reports) then Stdlib.exit 1
 
+(* --- serve subcommand ------------------------------------------------- *)
+
+let serve_run port sock jobs depth cache_cap idle_ms par_j =
+  (match par_j with Some j -> Exec.Par.set_jobs j | None -> ());
+  let addr =
+    match sock with
+    | Some path -> Server.Daemon.Unix_sock path
+    | None -> Server.Daemon.Tcp port
+  in
+  let d =
+    Server.Daemon.start
+      {
+        Server.Daemon.addr;
+        jobs;
+        depth;
+        cache_capacity = cache_cap;
+        idle_quiesce_ms = idle_ms;
+      }
+  in
+  (match Server.Daemon.bound_addr d with
+  | Server.Daemon.Tcp p ->
+    Format.printf "gprs_run serve: listening on 127.0.0.1:%d (jobs %d, depth %d)@." p jobs depth
+  | Server.Daemon.Unix_sock path ->
+    Format.printf "gprs_run serve: listening on %s (jobs %d, depth %d)@." path jobs depth);
+  Server.Daemon.wait d
+
+(* --- client subcommand ------------------------------------------------- *)
+
+let scenario_base ~want_stats workload engine contexts scale seed rate grain
+    ordering interval =
+  {
+    Server.Scenario.id = "";
+    workload;
+    engine;
+    ordering;
+    contexts;
+    scale;
+    grain;
+    seed;
+    rate;
+    interval;
+    want_stats;
+  }
+
+(* Local one-shot ground truth for --verify: same scenario, fresh decode,
+   no daemon. Digest, cycles and DNC must match bit for bit. *)
+let verify_against_local scn reply =
+  let spec, program = Server.Scenario.build_program scn in
+  let local = Server.Scenario.run ~spec ~program scn in
+  let got what = Result.value ~default:"?" what in
+  match
+    ( Server.Json.str "digest" reply,
+      Server.Json.int "sim_cycles" reply,
+      Server.Json.bool "dnc" reply )
+  with
+  | Ok d, Ok cyc, Ok dnc
+    when d = local.Server.Scenario.digest
+         && cyc = local.Server.Scenario.sim_cycles
+         && dnc = local.Server.Scenario.dnc ->
+    None
+  | _ ->
+    Some
+      (Printf.sprintf
+         "daemon digest=%s cycles=%s vs one-shot digest=%s cycles=%d"
+         (got (Server.Json.str ~default:"?" "digest" reply))
+         (got
+            (Result.map string_of_int
+               (Server.Json.int ~default:(-1) "sim_cycles" reply)))
+         local.Server.Scenario.digest local.Server.Scenario.sim_cycles)
+
+let client_run port sock workload engine contexts scale seed rate grain
+    ordering interval count mix open_rps verify show_stats do_shutdown =
+  let addr =
+    match sock with
+    | Some path -> Server.Daemon.Unix_sock path
+    | None -> Server.Daemon.Tcp port
+  in
+  let c = Server.Client.connect addr in
+  let failures = ref 0 in
+  let base =
+    scenario_base ~want_stats:false workload engine contexts scale seed rate
+      grain ordering interval
+  in
+  (match open_rps with
+  | Some rps ->
+    (* open-loop load: fixed-rate arrivals, latency includes queueing *)
+    let l = Server.Client.open_loop c ~base ~n:count ~rps in
+    if l.Server.Client.failed > 0 then incr failures;
+    Format.printf
+      "open-loop : %d sent at %.1f req/s, %d ok, %d failed@." l.Server.Client.sent
+      rps l.Server.Client.ok l.Server.Client.failed;
+    Format.printf "throughput: %.1f req/s sustained@." l.Server.Client.rps;
+    Format.printf "latency   : mean %.2f ms, p50 %.2f ms, p99 %.2f ms@."
+      l.Server.Client.mean_ms l.Server.Client.p50_ms l.Server.Client.p99_ms
+  | None ->
+    (* scripted burst: --mix sweeps workload x engine x {fault-free,
+       faulty}; otherwise --count sequential requests stepping the seed *)
+    let scenarios =
+      if mix then
+        List.concat_map
+          (fun w ->
+            List.concat_map
+              (fun e ->
+                List.map
+                  (fun r -> { base with Server.Scenario.workload = w;
+                              engine = e; rate = r })
+                  (List.sort_uniq compare [ 0.0; rate ]))
+              [ "pthreads"; "cpr"; "gprs" ])
+          Workloads.Suite.names
+      else
+        List.init count (fun i ->
+            { base with Server.Scenario.seed = seed + i })
+    in
+    let scenarios =
+      List.mapi
+        (fun i scn -> { scn with Server.Scenario.id = Printf.sprintf "c%d" i })
+        scenarios
+    in
+    let t0 = Unix.gettimeofday () in
+    let lats =
+      List.map
+        (fun scn ->
+          let reply, ms = Server.Client.timed_run c scn in
+          let ev =
+            Result.value ~default:"?"
+              (Server.Json.str ~default:"?" "event" reply)
+          in
+          (if ev <> "done" then begin
+             incr failures;
+             Format.printf "%-14s %-8s rate %-4g FAILED: %s@."
+               scn.Server.Scenario.workload scn.Server.Scenario.engine
+               scn.Server.Scenario.rate (Server.Json.to_string reply)
+           end
+           else
+             match if verify then verify_against_local scn reply else None with
+             | Some msg ->
+               incr failures;
+               Format.printf "%-14s %-8s rate %-4g MISMATCH: %s@."
+                 scn.Server.Scenario.workload scn.Server.Scenario.engine
+                 scn.Server.Scenario.rate msg
+             | None ->
+               Format.printf "%-14s %-8s rate %-4g ok  %7.2f ms  %s@."
+                 scn.Server.Scenario.workload scn.Server.Scenario.engine
+                 scn.Server.Scenario.rate ms
+                 (Result.value ~default:"?"
+                    (Server.Json.str ~default:"?" "digest" reply)));
+          ms)
+        scenarios
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let n = List.length lats in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let pick p =
+      if n = 0 then 0.
+      else
+        sorted.(Stdlib.max 0
+                  (Stdlib.min (n - 1)
+                     (int_of_float (Float.ceil (p /. 100. *. float_of_int n))
+                      - 1)))
+    in
+    Format.printf
+      "summary   : %d requests, %d failed, %.1f req/s, p50 %.2f ms, p99 %.2f        ms%s@."
+      n !failures
+      (if wall > 0. then float_of_int n /. wall else 0.)
+      (pick 50.) (pick 99.)
+      (if verify then " (verified against one-shot)" else ""));
+  if show_stats then
+    Format.printf "stats     : %s@."
+      (Server.Json.to_string (Server.Client.stats c));
+  if do_shutdown then Server.Client.shutdown c;
+  Server.Client.close c;
+  if !failures > 0 then Stdlib.exit 1
+
 (* --- terms ------------------------------------------------------------ *)
 
 let workload =
@@ -485,13 +659,155 @@ let crashsweep_cmd =
       const crashsweep_run $ sweep_workload_pos $ contexts $ scale $ seed
       $ crash_sample $ sweep_schemes $ no_pcpr)
 
+let serve_port =
+  Arg.(value & opt int 7477
+       & info [ "p"; "port" ]
+           ~doc:"TCP port to listen on (loopback only); 0 picks one.")
+
+let serve_sock =
+  Arg.(value & opt (some string) None
+       & info [ "sock" ]
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of TCP."
+           ~docv:"PATH")
+
+let serve_jobs =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ]
+           ~doc:"Worker domains executing requests concurrently.")
+
+let serve_depth =
+  Arg.(value & opt int 64
+       & info [ "depth" ]
+           ~doc:
+             "Admission bound: queued-or-running work units beyond which \
+              new requests are shed with a 429-style error.")
+
+let serve_cache =
+  Arg.(value & opt int 32
+       & info [ "cache" ]
+           ~doc:
+             "Program-cache capacity: decoded workloads with their \
+              compiled superblocks and lint verdicts, LRU-evicted past it.")
+
+let serve_idle_ms =
+  Arg.(value & opt int 200
+       & info [ "idle-ms" ]
+           ~doc:
+             "Join idle worker domains (request pool and speculative-window \
+              workers) after this many ms without traffic; 0 disables.")
+
+let serve_cmd =
+  let doc =
+    "persistent simulation daemon: newline-delimited JSON scenario \
+     requests over TCP or a Unix socket, with cross-request program \
+     caching, request coalescing and bounded admission"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ serve_port $ serve_sock $ serve_jobs $ serve_depth
+      $ serve_cache $ serve_idle_ms $ par_j)
+
+let client_port =
+  Arg.(value & opt int 7477
+       & info [ "p"; "port" ]
+           ~doc:"Daemon TCP port to connect to (loopback).")
+
+let client_sock =
+  Arg.(value & opt (some string) None
+       & info [ "sock" ]
+           ~doc:"Connect to the daemon's Unix-domain socket at $(docv) \
+                 instead of TCP."
+           ~docv:"PATH")
+
+let client_count =
+  Arg.(value & opt int 1
+       & info [ "count" ]
+           ~doc:
+             "Requests to send: sequential, stepping the seed (or arrival \
+              count under $(b,--open-loop)).")
+
+let client_mix =
+  Arg.(value & flag
+       & info [ "mix" ]
+           ~doc:
+             "Burst the full matrix instead: every workload x every engine, \
+              fault-free and (if --rate > 0) faulty.")
+
+let client_open_loop =
+  Arg.(value & opt (some float) None
+       & info [ "open-loop" ]
+           ~doc:
+             "Open-loop mode: send $(b,--count) arrivals at $(docv) \
+              requests/s regardless of completions and report sustained \
+              throughput and p50/p99 latency."
+           ~docv:"RPS")
+
+let client_verify =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:
+             "Re-run every scenario one-shot in-process and require \
+              bit-identical digest, cycles and DNC from the daemon; exits 1 \
+              on any mismatch.")
+
+let client_stats =
+  Arg.(value & flag
+       & info [ "server-stats" ] ~doc:"Print the daemon's stats line after.")
+
+let client_shutdown =
+  Arg.(value & flag
+       & info [ "shutdown" ] ~doc:"Ask the daemon to shut down when done.")
+
+let client_cmd =
+  let doc =
+    "scripted and open-loop load driver for a running $(b,gprs_run serve) \
+     daemon; verifies daemon results against one-shot runs"
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const client_run $ client_port $ client_sock $ workload $ engine
+      $ contexts $ scale $ seed $ rate $ grain $ ordering $ interval
+      $ client_count $ client_mix $ client_open_loop $ client_verify
+      $ client_stats $ client_shutdown)
+
 let cmd =
   let doc =
     "run (or statically lint) one workload under pthreads / CPR / GPRS on \
      the simulated machine"
   in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Subcommands ($(b,gprs_run CMD --help) for details; no subcommand \
+         means $(b,run)):";
+      `I ("$(b,run)", "run one workload under pthreads / CPR / GPRS.");
+      `I
+        ( "$(b,lint)",
+          "statically analyze a workload: lock discipline, deadlock order, \
+           CPR-region soundness, unprotected races." );
+      `I
+        ( "$(b,racecheck)",
+          "cross-validated race detection: static lockset pass plus a \
+           dynamic vector-clock sanitized run." );
+      `I
+        ( "$(b,crashsweep)",
+          "crash at every WAL-record boundary, cold-recover, and require \
+           the fault-free digest." );
+      `I
+        ( "$(b,serve)",
+          "persistent simulation daemon with cross-request program caching \
+           and bounded admission (JSON lines over TCP / Unix socket)." );
+      `I
+        ( "$(b,client)",
+          "scripted and open-loop load driver for a running daemon, with \
+           one-shot verification." );
+    ]
+  in
   Cmd.group ~default:run_term
-    (Cmd.info "gprs_run" ~doc)
-    [ run_cmd; lint_cmd; racecheck_cmd; crashsweep_cmd ]
+    (Cmd.info "gprs_run" ~doc ~man)
+    [ run_cmd; lint_cmd; racecheck_cmd; crashsweep_cmd; serve_cmd; client_cmd ]
 
 let () = Stdlib.exit (Cmd.eval cmd)

@@ -41,3 +41,116 @@ let map ~jobs f items =
            | None -> assert false)
          results)
   end
+
+(* --- shared long-lived pool ---------------------------------------------- *)
+
+(* [map] spawns domains per call and joins them before returning — right
+   for a one-shot experiment sweep, wrong for a daemon that fields
+   requests forever: per-call spawn/join costs show up in every
+   request's latency, and joined-at-exit discipline has no natural place
+   to live. The shared pool keeps up to [jobs] worker domains across
+   submissions, spawning them lazily on demand and parking them on a
+   condvar between tasks; [shared_quiesce] drains and joins (the
+   daemon's idle housekeeping, mirroring [Exec.Par.quiesce] discipline),
+   after which the next submission transparently respawns. *)
+
+type shared = {
+  sh_mutex : Mutex.t;
+  sh_task : Condition.t;  (* workers park here waiting for tasks *)
+  sh_drain : Condition.t;  (* waiters park here for pending = 0 *)
+  sh_jobs : int;
+  sh_queue : (unit -> unit) Queue.t;
+  mutable sh_running : int;  (* tasks currently executing *)
+  mutable sh_idle : int;  (* workers parked in [Condition.wait] *)
+  mutable sh_workers : int;
+  mutable sh_quit : bool;
+  mutable sh_doms : unit Domain.t list;
+}
+
+let shared_create ~jobs =
+  {
+    sh_mutex = Mutex.create ();
+    sh_task = Condition.create ();
+    sh_drain = Condition.create ();
+    sh_jobs = Stdlib.max 1 jobs;
+    sh_queue = Queue.create ();
+    sh_running = 0;
+    sh_idle = 0;
+    sh_workers = 0;
+    sh_quit = false;
+    sh_doms = [];
+  }
+
+let shared_worker sh () =
+  Mutex.lock sh.sh_mutex;
+  let rec loop () =
+    while Queue.is_empty sh.sh_queue && not sh.sh_quit do
+      sh.sh_idle <- sh.sh_idle + 1;
+      Condition.wait sh.sh_task sh.sh_mutex;
+      sh.sh_idle <- sh.sh_idle - 1
+    done;
+    if sh.sh_quit then begin
+      sh.sh_workers <- sh.sh_workers - 1;
+      Mutex.unlock sh.sh_mutex
+    end
+    else begin
+      let task = Queue.pop sh.sh_queue in
+      sh.sh_running <- sh.sh_running + 1;
+      Mutex.unlock sh.sh_mutex;
+      (* A task that raises must not take its worker down with it;
+         submitters that care about failures catch inside the thunk (the
+         daemon wraps each request in its own error reply). *)
+      (try task () with _ -> ());
+      Mutex.lock sh.sh_mutex;
+      sh.sh_running <- sh.sh_running - 1;
+      if sh.sh_running = 0 && Queue.is_empty sh.sh_queue then
+        Condition.broadcast sh.sh_drain;
+      loop ()
+    end
+  in
+  loop ()
+
+let shared_submit sh task =
+  Mutex.lock sh.sh_mutex;
+  Queue.push task sh.sh_queue;
+  if sh.sh_idle = 0 && sh.sh_workers < sh.sh_jobs then begin
+    sh.sh_quit <- false;
+    sh.sh_doms <- Domain.spawn (shared_worker sh) :: sh.sh_doms;
+    sh.sh_workers <- sh.sh_workers + 1
+  end
+  else Condition.signal sh.sh_task;
+  Mutex.unlock sh.sh_mutex
+
+let shared_pending sh =
+  Mutex.lock sh.sh_mutex;
+  let n = Queue.length sh.sh_queue + sh.sh_running in
+  Mutex.unlock sh.sh_mutex;
+  n
+
+let shared_workers sh =
+  Mutex.lock sh.sh_mutex;
+  let n = sh.sh_workers in
+  Mutex.unlock sh.sh_mutex;
+  n
+
+let shared_wait sh =
+  Mutex.lock sh.sh_mutex;
+  while not (Queue.is_empty sh.sh_queue && sh.sh_running = 0) do
+    Condition.wait sh.sh_drain sh.sh_mutex
+  done;
+  Mutex.unlock sh.sh_mutex
+
+let shared_quiesce sh =
+  Mutex.lock sh.sh_mutex;
+  while not (Queue.is_empty sh.sh_queue && sh.sh_running = 0) do
+    Condition.wait sh.sh_drain sh.sh_mutex
+  done;
+  sh.sh_quit <- true;
+  let doms = sh.sh_doms in
+  sh.sh_doms <- [];
+  Condition.broadcast sh.sh_task;
+  Mutex.unlock sh.sh_mutex;
+  List.iter Domain.join doms;
+  Mutex.lock sh.sh_mutex;
+  sh.sh_quit <- false;
+  Mutex.unlock sh.sh_mutex

@@ -16,3 +16,42 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     baseline cache is internally locked). If any application raises, the
     first (lowest-index) exception is re-raised after all workers
     drain. *)
+
+(** {1 Shared long-lived pool}
+
+    Unlike {!map}, which spawns and joins domains per call, a [shared]
+    pool keeps up to [jobs] worker domains alive across submissions —
+    the substrate the service daemon multiplexes request execution onto,
+    so worker spawn cost is paid per burst, not per request. Workers are
+    spawned lazily as tasks arrive and park on a condition variable
+    between tasks. *)
+
+type shared
+
+val shared_create : jobs:int -> shared
+(** No domains are spawned until the first {!shared_submit}. [jobs] is
+    clamped to >= 1. *)
+
+val shared_submit : shared -> (unit -> unit) -> unit
+(** Enqueue a task (FIFO) and return immediately; an idle worker picks
+    it up, or a new one is spawned while fewer than [jobs] exist. A task
+    that raises is dropped silently — submitters that need the error
+    must catch it inside the thunk. Admission control (bounding this
+    queue) is the caller's job: the daemon sheds before submitting. *)
+
+val shared_pending : shared -> int
+(** Tasks queued plus tasks executing right now. *)
+
+val shared_workers : shared -> int
+(** Worker domains currently alive (idle or running). *)
+
+val shared_wait : shared -> unit
+(** Block until the pool is drained ([shared_pending] = 0). *)
+
+val shared_quiesce : shared -> unit
+(** Drain, then join all worker domains — the daemon's idle
+    housekeeping, for the same stop-the-world reason as
+    {!Exec.Par.quiesce}: a parked domain taxes every single-domain phase
+    in the process. The pool remains usable; the next submission
+    respawns workers. Do not call concurrently with {!shared_submit}
+    (the daemon serializes both in its housekeeping thread). *)

@@ -1654,7 +1654,7 @@ let cold_restart (d : crash_dump) ~redo ~loser_ops ~replayed ~next_sub =
   schedule_next_fault eng;
   fun () -> run_loop eng
 
-let run ?(lint = `Warn) ?wal_out cfg program =
+let run ?(lint = `Warn) ?wal_out ?blocks cfg program =
   (match lint with
   | `Off -> ()
   | (`Warn | `Strict) as mode -> (
@@ -1673,8 +1673,8 @@ let run ?(lint = `Warn) ?wal_out cfg program =
           (Lint.Render.pp ~title:"GPRS-lint (pre-execution)")
           visible));
   let st =
-    Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
-      ~seed:cfg.seed ()
+    Exec.State.create ?blocks ~program ~costs:cfg.costs
+      ~n_contexts:cfg.n_contexts ~seed:cfg.seed ()
   in
   let stable =
     cfg.wal_stable || cfg.crash_lsn <> None || cfg.crash_cycle <> None

@@ -132,6 +132,7 @@ val cold_restart :
 val run :
   ?lint:[ `Off | `Warn | `Strict ] ->
   ?wal_out:string ref ->
+  ?blocks:Vm.Block.t ->
   config ->
   Vm.Isa.program ->
   Exec.State.run_result

@@ -680,10 +680,10 @@ let schedule_next_fault eng =
          (Fault_report
             { occurred_at = ev.Faults.Injector.occurred_at; ctx = ev.Faults.Injector.ctx }))
 
-let run cfg program =
+let run ?blocks cfg program =
   let st =
-    Exec.State.create ~program ~costs:cfg.costs ~n_contexts:cfg.n_contexts
-      ~seed:cfg.seed ()
+    Exec.State.create ?blocks ~program ~costs:cfg.costs
+      ~n_contexts:cfg.n_contexts ~seed:cfg.seed ()
   in
   let eng =
     {

@@ -44,4 +44,5 @@ type config = {
 val default_config : config
 (** 24 contexts, 1s interval, no faults, livelock bound 200. *)
 
-val run : config -> Vm.Isa.program -> Exec.State.run_result
+val run :
+  ?blocks:Vm.Block.t -> config -> Vm.Isa.program -> Exec.State.run_result

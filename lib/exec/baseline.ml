@@ -280,10 +280,10 @@ let tick eng ctx =
       eng.ctx_of.(ctx) <- None;
       fill eng ctx)
 
-let run config program =
+let run ?blocks config program =
   let st =
-    State.create ~program ~costs:config.costs ~n_contexts:config.n_contexts
-      ~seed:config.seed ()
+    State.create ?blocks ~program ~costs:config.costs
+      ~n_contexts:config.n_contexts ~seed:config.seed ()
   in
   let eng =
     {

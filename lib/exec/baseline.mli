@@ -20,6 +20,7 @@ type config = {
 val default_config : config
 (** 24 contexts, seed 1, unbounded, FIFO, default cost model. *)
 
-val run : config -> Vm.Isa.program -> State.run_result
+val run : ?blocks:Vm.Block.t -> config -> Vm.Isa.program -> State.run_result
 (** Execute to completion (all threads exited). Raises {!State.Deadlock}
-    if the program wedges — a workload bug, surfaced loudly. *)
+    if the program wedges — a workload bug, surfaced loudly. [blocks]
+    passes a cached [Vm.Block.analyze program] (see {!State.create}). *)

@@ -114,6 +114,13 @@ let the_pool =
   { p_mutex = Mutex.create (); p_cond = Condition.create ();
     p_stack = []; p_len = 0; p_workers = 0; p_quit = false; p_doms = [] }
 
+(* One run at a time drives the pool; a loser here (e.g. a second
+   simulation inside Analysis.Pool) runs sequentially, which the
+   determinism contract makes invisible. Declared beside the pool
+   because the idle watchdog below reads it to tell "parked between
+   runs" from "parked mid-session". *)
+let pool_busy = Atomic.make false
+
 (* [None] tells the worker to exit (a {!quiesce} is in progress). *)
 let pool_take p =
   Mutex.lock p.p_mutex;
@@ -521,7 +528,7 @@ let worker_main () =
   in
   loop ()
 
-let ensure_workers n =
+let ensure_workers_unlocked n =
   Mutex.lock the_pool.p_mutex;
   the_pool.p_quit <- false;
   while the_pool.p_workers < n do
@@ -536,7 +543,7 @@ let ensure_workers n =
    sequential phases — the bench harness after its parallel section —
    tear the pool down rather than pay that. Must not race an active
    session; the single coordinator calls it between runs. *)
-let quiesce () =
+let quiesce_unlocked () =
   Mutex.lock the_pool.p_mutex;
   the_pool.p_quit <- true;
   the_pool.p_stack <- [];
@@ -547,17 +554,98 @@ let quiesce () =
   Mutex.unlock the_pool.p_mutex;
   List.iter Domain.join doms
 
+(* --- idle auto-quiesce --------------------------------------------------- *)
+
+(* Serializes pool lifecycle transitions — worker spawn, quiesce, the
+   watchdog's idle check — against each other; never taken on the window
+   hot path. [pool_busy] is CASed {e before} a starting session reaches
+   [ensure_workers], so a watchdog that observes it false while holding
+   this mutex knows any racing [start] is blocked here until the quiesce
+   finishes, after which that start respawns a fresh pool. *)
+let lifecycle = Mutex.create ()
+
+let idle_ms =
+  ref
+    (match Sys.getenv_opt "GPRS_PAR_IDLE_MS" with
+    | Some s -> ( try Stdlib.max 0 (int_of_string (String.trim s)) with _ -> 0)
+    | None -> 0)
+
+(* Host time of the last lifecycle event (worker spawn, session stop).
+   Written without [lifecycle] from [stop]; a stale read only delays the
+   watchdog by one period, never breaks it. *)
+let last_activity = ref 0.
+
+let touch () = last_activity := Unix.gettimeofday ()
+let watchdog_live = ref false (* under [lifecycle] *)
+
+let workers_live () =
+  Mutex.lock the_pool.p_mutex;
+  let w = the_pool.p_workers in
+  Mutex.unlock the_pool.p_mutex;
+  w
+
+(* A systhread, not a domain: it spends its life in [Thread.delay], and
+   unlike a parked domain it does not participate in stop-the-world
+   collections, so the watchdog itself costs none of the tax it exists
+   to remove. It exits after quiescing (or when disabled); the next
+   worker spawn starts a fresh one. *)
+let rec watchdog_loop () =
+  let ms = Stdlib.max 1 !idle_ms in
+  Thread.delay (Stdlib.max 0.005 (float_of_int ms /. 4000.));
+  Mutex.lock lifecycle;
+  let ms = !idle_ms in
+  if ms <= 0 || workers_live () = 0 then begin
+    watchdog_live := false;
+    Mutex.unlock lifecycle
+  end
+  else begin
+    if
+      (not (Atomic.get pool_busy))
+      && (Unix.gettimeofday () -. !last_activity) *. 1000. >= float_of_int ms
+    then quiesce_unlocked ();
+    if workers_live () = 0 then begin
+      watchdog_live := false;
+      Mutex.unlock lifecycle
+    end
+    else begin
+      Mutex.unlock lifecycle;
+      watchdog_loop ()
+    end
+  end
+
+let maybe_spawn_watchdog_locked () =
+  if !idle_ms > 0 && workers_live () > 0 && not !watchdog_live then begin
+    watchdog_live := true;
+    ignore (Thread.create watchdog_loop ())
+  end
+
+let ensure_workers n =
+  Mutex.lock lifecycle;
+  touch ();
+  ensure_workers_unlocked n;
+  maybe_spawn_watchdog_locked ();
+  Mutex.unlock lifecycle
+
+let quiesce () =
+  Mutex.lock lifecycle;
+  quiesce_unlocked ();
+  Mutex.unlock lifecycle
+
+let set_idle_timeout_ms n =
+  Mutex.lock lifecycle;
+  idle_ms := Stdlib.max 0 n;
+  touch ();
+  maybe_spawn_watchdog_locked ();
+  Mutex.unlock lifecycle
+
+let idle_timeout_ms () = !idle_ms
+
 (* --- sessions ----------------------------------------------------------- *)
 
 type session = {
   s_slots : (int, window) Hashtbl.t;  (* thread id -> pending window *)
   mutable s_next_id : int;
 }
-
-(* One run at a time drives the pool; a loser here (e.g. a second
-   simulation inside Analysis.Pool) runs sequentially, which the
-   determinism contract makes invisible. *)
-let pool_busy = Atomic.make false
 
 let start (st : 'ev State.t) =
   let n = effective_jobs () in
@@ -581,6 +669,7 @@ let stop = function
         ignore (Atomic.compare_and_set w.w_state st_pending st_cancelled))
       s.s_slots;
     Hashtbl.reset s.s_slots;
+    touch ();
     Atomic.set pool_busy false
 
 (* --- lease -------------------------------------------------------------- *)

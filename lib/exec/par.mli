@@ -78,6 +78,25 @@ val quiesce : unit -> unit
     section so the remaining rows measure a one-domain runtime. Must not
     be called while a session is live. No-op when no workers exist. *)
 
+val set_idle_timeout_ms : int -> unit
+(** Arm (or, with [0], disarm) the idle auto-quiesce watchdog: once no
+    session has held the pool for this many host milliseconds, a
+    background systhread joins the worker domains exactly as {!quiesce}
+    would, so a warm daemon stops paying the parked-domain
+    stop-the-world tax between request bursts. Workers respawn
+    transparently on the next parallel {!start}. Initialized from
+    [GPRS_PAR_IDLE_MS]; 0 (disabled) by default — the one-shot CLI and
+    the bench keep their explicit {!quiesce} discipline, the daemon arms
+    this at startup. *)
+
+val idle_timeout_ms : unit -> int
+(** Current idle auto-quiesce timeout (0 = disabled). *)
+
+val workers_live : unit -> int
+(** Worker domains currently spawned (parked or running). Observability
+    for tests and the daemon's stats endpoint; racy by a transition at
+    most. *)
+
 type committed = {
   c_vend : int;
       (** absolute end-of-chain virtual time; the engine schedules the

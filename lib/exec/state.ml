@@ -34,7 +34,8 @@ exception Deadlock of string
 
 let main_tid = 0
 
-let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
+let create ?(trace_capacity = 4096) ?blocks ~program ~costs ~n_contexts ~seed
+    () =
   let open Vm.Isa in
   let mem = Vm.Mem.create ~words:program.mem_words in
   if program.reserved_words > 0 then
@@ -83,7 +84,13 @@ let create ?(trace_capacity = 4096) ~program ~costs ~n_contexts ~seed () =
     acc_cost = 0;
     output_handles;
     blocks =
-      (let b = Vm.Block.analyze program in
+      (* A caller (the service-mode program cache) may hand in the
+         pre-analyzed decode so repeated runs of one program skip
+         [Vm.Block.analyze]; the blocks value is immutable after analyze,
+         so sharing it across runs — even concurrent ones — is sound. *)
+      (let b =
+         match blocks with Some b -> b | None -> Vm.Block.analyze program
+       in
        if !Vm.Block.profiling && Vm.Block.compiling () then
          Sim.Stats.add stats "compile.superblocks" (Vm.Block.n_compiled b);
        b);

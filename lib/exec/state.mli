@@ -54,6 +54,7 @@ and barrier = { parties : int; mutable arrived : int list }
 
 val create :
   ?trace_capacity:int ->
+  ?blocks:Vm.Block.t ->
   program:Vm.Isa.program ->
   costs:Vm.Costs.t ->
   n_contexts:int ->
@@ -61,7 +62,10 @@ val create :
   unit ->
   'ev t
 (** Builds the machine, loads input files, creates the main thread
-    (tid 0, group 0, [Runnable]). *)
+    (tid 0, group 0, [Runnable]). [blocks], when given, must be
+    [Vm.Block.analyze program]'s result — the service-mode program cache
+    passes it so repeated runs pay decode + superblock compilation once
+    per program, not per run. *)
 
 val thread : 'ev t -> int -> Vm.Tcb.t
 val main_tid : int

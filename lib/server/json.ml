@@ -1,0 +1,258 @@
+(* Minimal JSON codec for the service protocol. Hand-rolled because the
+   toolchain carries no JSON library, and the protocol needs only the
+   core grammar: objects, arrays, strings, numbers, booleans, null.
+   Ints and floats are kept distinct so integer fields (seeds, cycle
+   counts) round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Str s -> escape b s
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      l;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape b k;
+        Buffer.add_char b ':';
+        write b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  write b j;
+  Buffer.contents b
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error cu msg = raise (Bad (Printf.sprintf "%s at offset %d" msg cu.pos))
+let peek cu = if cu.pos < String.length cu.src then Some cu.src.[cu.pos] else None
+
+let skip_ws cu =
+  while
+    cu.pos < String.length cu.src
+    &&
+    match cu.src.[cu.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cu.pos <- cu.pos + 1
+  done
+
+let expect cu c =
+  match peek cu with
+  | Some d when d = c -> cu.pos <- cu.pos + 1
+  | _ -> error cu (Printf.sprintf "expected %c" c)
+
+let literal cu word v =
+  let n = String.length word in
+  if
+    cu.pos + n <= String.length cu.src
+    && String.sub cu.src cu.pos n = word
+  then begin
+    cu.pos <- cu.pos + n;
+    v
+  end
+  else error cu (Printf.sprintf "expected %s" word)
+
+let parse_string cu =
+  expect cu '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if cu.pos >= String.length cu.src then error cu "unterminated string";
+    let c = cu.src.[cu.pos] in
+    cu.pos <- cu.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (if cu.pos >= String.length cu.src then error cu "unterminated escape";
+       let e = cu.src.[cu.pos] in
+       cu.pos <- cu.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'u' ->
+         if cu.pos + 4 > String.length cu.src then error cu "bad \\u escape";
+         let hex = String.sub cu.src cu.pos 4 in
+         cu.pos <- cu.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with _ -> error cu "bad \\u escape"
+         in
+         (* Protocol strings are ASCII; anything else degrades readably
+            rather than asserting. *)
+         if code < 0x80 then Buffer.add_char b (Char.chr code)
+         else Buffer.add_char b '?'
+       | _ -> error cu "bad escape");
+      go ()
+    | c -> Buffer.add_char b c; go ()
+  in
+  go ()
+
+let parse_number cu =
+  let start = cu.pos in
+  let is_num c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    cu.pos < String.length cu.src && is_num cu.src.[cu.pos]
+  do
+    cu.pos <- cu.pos + 1
+  done;
+  let s = String.sub cu.src start (cu.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error cu "bad number")
+
+let rec parse_value cu =
+  skip_ws cu;
+  match peek cu with
+  | None -> error cu "unexpected end of input"
+  | Some '{' ->
+    expect cu '{';
+    skip_ws cu;
+    if peek cu = Some '}' then begin
+      expect cu '}';
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws cu;
+        let k = parse_string cu in
+        skip_ws cu;
+        expect cu ':';
+        let v = parse_value cu in
+        skip_ws cu;
+        match peek cu with
+        | Some ',' ->
+          expect cu ',';
+          members ((k, v) :: acc)
+        | Some '}' ->
+          expect cu '}';
+          List.rev ((k, v) :: acc)
+        | _ -> error cu "expected , or }"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    expect cu '[';
+    skip_ws cu;
+    if peek cu = Some ']' then begin
+      expect cu ']';
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value cu in
+        skip_ws cu;
+        match peek cu with
+        | Some ',' ->
+          expect cu ',';
+          elements (v :: acc)
+        | Some ']' ->
+          expect cu ']';
+          List.rev (v :: acc)
+        | _ -> error cu "expected , or ]"
+      in
+      List (elements [])
+    end
+  | Some '"' -> Str (parse_string cu)
+  | Some 't' -> literal cu "true" (Bool true)
+  | Some 'f' -> literal cu "false" (Bool false)
+  | Some 'n' -> literal cu "null" Null
+  | Some _ -> parse_number cu
+
+let of_string s =
+  let cu = { src = s; pos = 0 } in
+  match parse_value cu with
+  | v ->
+    skip_ws cu;
+    if cu.pos <> String.length s then Error "trailing garbage"
+    else Ok v
+  | exception Bad msg -> Error msg
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let str ?default k j =
+  match (member k j, default) with
+  | Some (Str s), _ -> Ok s
+  | (None | Some _), Some d -> Ok d
+  | (None | Some _), None -> Error (Printf.sprintf "missing string field %S" k)
+
+let int ?default k j =
+  match (member k j, default) with
+  | Some (Int i), _ -> Ok i
+  | Some (Float f), _ when Float.is_integer f -> Ok (int_of_float f)
+  | (None | Some _), Some d -> Ok d
+  | (None | Some _), None -> Error (Printf.sprintf "missing int field %S" k)
+
+let float ?default k j =
+  match (member k j, default) with
+  | Some (Float f), _ -> Ok f
+  | Some (Int i), _ -> Ok (float_of_int i)
+  | (None | Some _), Some d -> Ok d
+  | (None | Some _), None -> Error (Printf.sprintf "missing float field %S" k)
+
+let bool ?default k j =
+  match (member k j, default) with
+  | Some (Bool b), _ -> Ok b
+  | (None | Some _), Some d -> Ok d
+  | (None | Some _), None -> Error (Printf.sprintf "missing bool field %S" k)

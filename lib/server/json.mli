@@ -1,0 +1,36 @@
+(** Minimal JSON codec for the newline-delimited service protocol.
+
+    Hand-rolled (the toolchain ships no JSON library) and deliberately
+    small: the full core grammar, ASCII strings, and a strict
+    int/float split so integer protocol fields (seeds, cycle counts,
+    error codes) round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (never contains a raw newline: control
+    characters are escaped, so a rendered value is a valid protocol
+    line). Floats print with enough digits to round-trip. *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one value spanning the whole string (leading/trailing
+    whitespace allowed). *)
+
+(** {1 Field accessors}
+
+    Each looks up a key in an [Obj] and coerces; [default] turns a
+    missing (or wrong-typed) field into a value instead of an error.
+    [int] accepts integral floats; [float] accepts ints. *)
+
+val member : string -> t -> t option
+val str : ?default:string -> string -> t -> (string, string) result
+val int : ?default:int -> string -> t -> (int, string) result
+val float : ?default:float -> string -> t -> (float, string) result
+val bool : ?default:bool -> string -> t -> (bool, string) result

@@ -276,7 +276,17 @@ let analyze_proc (p : Isa.proc) =
     n_compiled;
   }
 
+(* Process-wide count of [analyze] calls. The service-mode program cache
+   promises that a warm-cache dispatch never re-decodes or re-compiles;
+   its bench and tests pin that promise by asserting this counter does
+   not move across a warm phase. Atomic: analyses can run on pool worker
+   domains. *)
+let analyze_count = Atomic.make 0
+
+let analyses () = Atomic.get analyze_count
+
 let analyze (p : Isa.program) : t =
+  Atomic.incr analyze_count;
   let t = Hashtbl.create (List.length p.Isa.procs) in
   List.iter
     (fun (name, proc) -> Hashtbl.replace t name (analyze_proc proc))

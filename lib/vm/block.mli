@@ -136,7 +136,14 @@ type proc_blocks = {
 type t
 
 val analyze : Isa.program -> t
-(** Decode and compile every proc. Done once in [Exec.State.create]. *)
+(** Decode and compile every proc. Done once in [Exec.State.create] —
+    unless the caller passes a cached result in, which is how the
+    service-mode program cache pays this cost once per program. *)
+
+val analyses : unit -> int
+(** Process-wide monotonic count of {!analyze} calls. A warm program
+    cache must leave it untouched: the service bench asserts a zero
+    delta across its warm-dispatch phase. *)
 
 val proc_info : t -> Isa.proc -> proc_blocks
 (** Raises [Invalid_argument] for a proc not in the analyzed program. *)

@@ -21,5 +21,6 @@ let () =
       ("crash", Test_crash.suite);
       ("race", Test_race.suite);
       ("par", Test_par.suite);
+      ("service", Test_service.suite);
       ("properties", Props.suite);
     ]
