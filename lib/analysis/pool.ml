@@ -52,18 +52,32 @@ let map ~jobs f items =
    submissions, spawning them lazily on demand and parking them on a
    condvar between tasks; [shared_quiesce] drains and joins (the
    daemon's idle housekeeping, mirroring [Exec.Par.quiesce] discipline),
-   after which the next submission transparently respawns. *)
+   after which the next submission transparently respawns.
+
+   [shared_submit] and [shared_quiesce] may race (the daemon's reader
+   threads submit while the housekeeper quiesces, and [stop] may quiesce
+   concurrently with the housekeeper), so the quiesce protocol must not
+   strand work or deadlock the joiner:
+   - workers drain the queue before honoring [sh_quiescing], so a task
+     that slips in after the drain check still runs;
+   - [shared_submit] never spawns or clears [sh_quiescing] while a
+     quiesce holds the domain list — flipping the flag mid-join would
+     park a worker forever and deadlock [Domain.join];
+   - after the join, the quiescer respawns workers for any tasks that
+     arrived while no worker was left alive to drain them;
+   - a second concurrent quiesce parks until the first finishes, then
+     re-runs the full protocol itself. *)
 
 type shared = {
   sh_mutex : Mutex.t;
   sh_task : Condition.t;  (* workers park here waiting for tasks *)
-  sh_drain : Condition.t;  (* waiters park here for pending = 0 *)
+  sh_drain : Condition.t;  (* waiters park for pending = 0 / quiesce end *)
   sh_jobs : int;
   sh_queue : (unit -> unit) Queue.t;
   mutable sh_running : int;  (* tasks currently executing *)
   mutable sh_idle : int;  (* workers parked in [Condition.wait] *)
   mutable sh_workers : int;
-  mutable sh_quit : bool;
+  mutable sh_quiescing : bool;  (* a quiesce owns [sh_doms] and is joining *)
   mutable sh_doms : unit Domain.t list;
 }
 
@@ -77,23 +91,21 @@ let shared_create ~jobs =
     sh_running = 0;
     sh_idle = 0;
     sh_workers = 0;
-    sh_quit = false;
+    sh_quiescing = false;
     sh_doms = [];
   }
 
 let shared_worker sh () =
   Mutex.lock sh.sh_mutex;
   let rec loop () =
-    while Queue.is_empty sh.sh_queue && not sh.sh_quit do
+    while Queue.is_empty sh.sh_queue && not sh.sh_quiescing do
       sh.sh_idle <- sh.sh_idle + 1;
       Condition.wait sh.sh_task sh.sh_mutex;
       sh.sh_idle <- sh.sh_idle - 1
     done;
-    if sh.sh_quit then begin
-      sh.sh_workers <- sh.sh_workers - 1;
-      Mutex.unlock sh.sh_mutex
-    end
-    else begin
+    if not (Queue.is_empty sh.sh_queue) then begin
+      (* Queued work wins over quiescing: a task submitted between the
+         quiescer's drain check and our exit must not strand. *)
       let task = Queue.pop sh.sh_queue in
       sh.sh_running <- sh.sh_running + 1;
       Mutex.unlock sh.sh_mutex;
@@ -107,14 +119,23 @@ let shared_worker sh () =
         Condition.broadcast sh.sh_drain;
       loop ()
     end
+    else begin
+      sh.sh_workers <- sh.sh_workers - 1;
+      Mutex.unlock sh.sh_mutex
+    end
   in
   loop ()
 
 let shared_submit sh task =
   Mutex.lock sh.sh_mutex;
   Queue.push task sh.sh_queue;
-  if sh.sh_idle = 0 && sh.sh_workers < sh.sh_jobs then begin
-    sh.sh_quit <- false;
+  if sh.sh_quiescing then
+    (* The quiescer owns [sh_doms]; spawning here would leak the domain
+       and clearing the flag would deadlock its join. Wake any worker
+       not yet exited — it drains the queue before exiting — and if none
+       is left, the quiescer respawns for us after the join. *)
+    Condition.broadcast sh.sh_task
+  else if sh.sh_idle = 0 && sh.sh_workers < sh.sh_jobs then begin
     sh.sh_doms <- Domain.spawn (shared_worker sh) :: sh.sh_doms;
     sh.sh_workers <- sh.sh_workers + 1
   end
@@ -142,15 +163,29 @@ let shared_wait sh =
 
 let shared_quiesce sh =
   Mutex.lock sh.sh_mutex;
-  while not (Queue.is_empty sh.sh_queue && sh.sh_running = 0) do
+  while
+    sh.sh_quiescing
+    || not (Queue.is_empty sh.sh_queue && sh.sh_running = 0)
+  do
     Condition.wait sh.sh_drain sh.sh_mutex
   done;
-  sh.sh_quit <- true;
+  (* Drained, and no other quiesce in flight: claim the domain list and
+     tell workers to exit, atomically with the drain check — no window
+     for a submit to slip between them. *)
+  sh.sh_quiescing <- true;
   let doms = sh.sh_doms in
   sh.sh_doms <- [];
   Condition.broadcast sh.sh_task;
   Mutex.unlock sh.sh_mutex;
   List.iter Domain.join doms;
   Mutex.lock sh.sh_mutex;
-  sh.sh_quit <- false;
+  sh.sh_quiescing <- false;
+  (* Tasks submitted while we held the flag and every worker had already
+     exited would otherwise strand: respawn for whatever is queued. *)
+  let need = Stdlib.min (Queue.length sh.sh_queue) sh.sh_jobs in
+  for _ = sh.sh_workers + 1 to need do
+    sh.sh_doms <- Domain.spawn (shared_worker sh) :: sh.sh_doms;
+    sh.sh_workers <- sh.sh_workers + 1
+  done;
+  Condition.broadcast sh.sh_drain;
   Mutex.unlock sh.sh_mutex

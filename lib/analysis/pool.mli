@@ -53,5 +53,8 @@ val shared_quiesce : shared -> unit
     housekeeping, for the same stop-the-world reason as
     {!Exec.Par.quiesce}: a parked domain taxes every single-domain phase
     in the process. The pool remains usable; the next submission
-    respawns workers. Do not call concurrently with {!shared_submit}
-    (the daemon serializes both in its housekeeping thread). *)
+    respawns workers. Safe to call concurrently with {!shared_submit}
+    and with other [shared_quiesce] calls: a task submitted mid-quiesce
+    is drained by a not-yet-exited worker or served by workers the
+    quiescer respawns after the join, never stranded; a concurrent
+    quiesce waits for the one in flight before running itself. *)

@@ -103,7 +103,27 @@ let listen_on = function
     in
     (fd, bound)
   | Unix_sock path ->
-    (try Unix.unlink path with _ -> ());
+    (* Only ever remove a *stale socket* at [path]: a regular file is
+       someone else's data, and a socket that still accepts connections
+       is a live daemon — unlinking either would be destructive. *)
+    (match Unix.stat path with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception _ -> false
+      in
+      (try Unix.close probe with _ -> ());
+      if live then
+        failwith
+          (Printf.sprintf "%s: a daemon is already listening here" path)
+      else ( try Unix.unlink path with _ -> ())
+    | _ ->
+      failwith
+        (Printf.sprintf "%s exists and is not a socket; refusing to replace it"
+           path));
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
     Unix.listen fd 64;
@@ -226,17 +246,20 @@ let handle_run t conn j =
       match Hashtbl.find_opt t.groups key with
       | Some g ->
         (* identical scenario already queued or running: one execution,
-           fanned out to every requester *)
+           fanned out to every requester. The 'queued' ack goes out
+           while [t.mutex] is still held: [group_finished] collects
+           waiters under the same mutex, so its 'done' cannot overtake
+           this ack on the wire (events for one id must stay ordered). *)
         g.g_waiters <- w :: g.g_waiters;
         t.n_coalesced <- t.n_coalesced + 1;
-        Mutex.unlock t.mutex;
         send conn
           (Json.Obj
              [
                ("id", Json.Str scn.Scenario.id);
                ("event", Json.Str "queued");
                ("coalesced", Json.Bool true);
-             ])
+             ]);
+        Mutex.unlock t.mutex
       | None ->
         if t.inflight >= t.cfg.depth then begin
           (* bounded admission: shed rather than queue without limit *)

@@ -231,28 +231,36 @@ let member k = function
   | Obj kvs -> List.assoc_opt k kvs
   | _ -> None
 
+(* The default only stands in for an *absent* field. A field that is
+   present with the wrong type is an error — {"seed":"42"} must not
+   silently run with seed 1 and reply as if the request were honored. *)
+
 let str ?default k j =
   match (member k j, default) with
   | Some (Str s), _ -> Ok s
-  | (None | Some _), Some d -> Ok d
-  | (None | Some _), None -> Error (Printf.sprintf "missing string field %S" k)
+  | Some _, _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None, Some d -> Ok d
+  | None, None -> Error (Printf.sprintf "missing string field %S" k)
 
 let int ?default k j =
   match (member k j, default) with
   | Some (Int i), _ -> Ok i
   | Some (Float f), _ when Float.is_integer f -> Ok (int_of_float f)
-  | (None | Some _), Some d -> Ok d
-  | (None | Some _), None -> Error (Printf.sprintf "missing int field %S" k)
+  | Some _, _ -> Error (Printf.sprintf "field %S must be an integer" k)
+  | None, Some d -> Ok d
+  | None, None -> Error (Printf.sprintf "missing int field %S" k)
 
 let float ?default k j =
   match (member k j, default) with
   | Some (Float f), _ -> Ok f
   | Some (Int i), _ -> Ok (float_of_int i)
-  | (None | Some _), Some d -> Ok d
-  | (None | Some _), None -> Error (Printf.sprintf "missing float field %S" k)
+  | Some _, _ -> Error (Printf.sprintf "field %S must be a number" k)
+  | None, Some d -> Ok d
+  | None, None -> Error (Printf.sprintf "missing float field %S" k)
 
 let bool ?default k j =
   match (member k j, default) with
   | Some (Bool b), _ -> Ok b
-  | (None | Some _), Some d -> Ok d
-  | (None | Some _), None -> Error (Printf.sprintf "missing bool field %S" k)
+  | Some _, _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+  | None, Some d -> Ok d
+  | None, None -> Error (Printf.sprintf "missing bool field %S" k)

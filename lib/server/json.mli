@@ -25,9 +25,10 @@ val of_string : string -> (t, string) result
 
 (** {1 Field accessors}
 
-    Each looks up a key in an [Obj] and coerces; [default] turns a
-    missing (or wrong-typed) field into a value instead of an error.
-    [int] accepts integral floats; [float] accepts ints. *)
+    Each looks up a key in an [Obj] and coerces; [default] turns an
+    *absent* field into a value instead of an error. A field that is
+    present with the wrong type is always an error — defaults never
+    mask it. [int] accepts integral floats; [float] accepts ints. *)
 
 val member : string -> t -> t option
 val str : ?default:string -> string -> t -> (string, string) result

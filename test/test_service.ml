@@ -53,6 +53,17 @@ let test_json_roundtrip () =
   let j = J.Obj [ ("a", J.Int 3) ] in
   checki "default miss" 7 (jget (J.int ~default:7 "b" j));
   checki "default hit" 3 (jget (J.int ~default:7 "a" j));
+  (* a present field with the wrong type errors; the default never
+     silently stands in for it ({"seed":"42"} must not run as seed 7) *)
+  let wrong = J.Obj [ ("seed", J.Str "42"); ("name", J.Int 1) ] in
+  checkb "wrong-typed int errors despite default" true
+    (Result.is_error (J.int ~default:7 "seed" wrong));
+  checkb "wrong-typed str errors despite default" true
+    (Result.is_error (J.str ~default:"x" "name" wrong));
+  checkb "wrong-typed bool errors despite default" true
+    (Result.is_error (J.bool ~default:true "seed" wrong));
+  checkb "wrong-typed float errors despite default" true
+    (Result.is_error (J.float ~default:1.0 "seed" wrong));
   checkb "trailing junk rejected" true
     (Result.is_error (J.of_string "{} x"));
   checkb "bare garbage rejected" true (Result.is_error (J.of_string "nope"))
@@ -153,6 +164,41 @@ let test_shared_pool () =
   Analysis.Pool.shared_wait p;
   checki "respawn after quiesce" 202 (Atomic.get count);
   Analysis.Pool.shared_quiesce p
+
+(* Submitters racing the housekeeper's quiesce: no task may strand in
+   the queue (hanging shared_wait) and no quiesce may deadlock on its
+   join, whichever way the two interleave. *)
+let test_shared_pool_quiesce_race () =
+  let p = Analysis.Pool.shared_create ~jobs:2 in
+  let count = Atomic.make 0 in
+  let total = 400 in
+  let stop_quiescer = Atomic.make false in
+  let quiescer =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop_quiescer) do
+          Analysis.Pool.shared_quiesce p;
+          Thread.yield ()
+        done)
+      ()
+  in
+  let submitters =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to total / 4 do
+              Analysis.Pool.shared_submit p (fun () -> Atomic.incr count);
+              Thread.yield ()
+            done)
+          ())
+  in
+  List.iter Thread.join submitters;
+  Analysis.Pool.shared_wait p;
+  checki "no task stranded by a racing quiesce" total (Atomic.get count);
+  Atomic.set stop_quiescer true;
+  Thread.join quiescer;
+  Analysis.Pool.shared_quiesce p;
+  checki "final quiesce joins everything" 0 (Analysis.Pool.shared_workers p)
 
 (* --- daemon helpers ----------------------------------------------------- *)
 
@@ -404,6 +450,8 @@ let suite =
       test_cache_inflight_dedup;
     Alcotest.test_case "shared pool: concurrent submit, quiesce, respawn"
       `Quick test_shared_pool;
+    Alcotest.test_case "shared pool: submit racing quiesce strands nothing"
+      `Quick test_shared_pool_quiesce_race;
     Alcotest.test_case "daemon == one-shot for every workload x engine x leg"
       `Quick test_equivalence_sweep;
     Alcotest.test_case "admission: deterministic overflow shed" `Quick
