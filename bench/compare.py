@@ -72,6 +72,20 @@ def index(run):
     return exps, micro, alloc, recovery, lint, par, service
 
 
+def fault_point_invariant(run):
+    """Baseline-independent: the measured run must have had zero named
+    fault points armed (the bench binary refuses to start with one, so
+    a nonzero count means a hand-edited JSON or a bypassed run). With
+    that pinned, the existing micro/experiment gates double as the
+    proof that compiled-in unarmed point checks cost nothing."""
+    armed = run.get("fault_points_armed", 0)
+    if armed != 0:
+        print(f"  FAIL  fault_points_armed: {armed} (must be 0: armed points "
+              f"perturb every measurement)")
+        return ["fault_points_armed"]
+    return []
+
+
 def service_invariants(run):
     """Baseline-independent gates on the service section: the warm cache
     must skip superblock compilation entirely and keep at least a 2x
@@ -167,6 +181,7 @@ def main():
     failures += compare("service", base_svc, new_svc, args.factor,
                         args.abs_slack_service_ms)
     failures += service_invariants(new)
+    failures += fault_point_invariant(new)
 
     if failures:
         print(f"{len(failures)} regression(s) beyond {args.factor}x")

@@ -752,6 +752,7 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
   p "  \"schema\": 1,\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"fault_points_armed\": %d,\n" (Faults.Points.armed_count ());
   p "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
@@ -843,6 +844,17 @@ let write_json path ~quick ~jobs ~experiments ~alloc ~recovery ~lints ~micro
 (* ------------------------------------------------------------------ *)
 
 let main json jobs quick profile par_j service_only =
+  (* Benchmarks gate regressions; an armed fault point (GPRS_FAULT_POINTS
+     leaks here too) perturbs every number, so refuse to measure rather
+     than commit a poisoned baseline. The armed count is also written to
+     the JSON for compare.py to re-assert. *)
+  if Faults.Points.armed_count () > 0 then begin
+    Format.eprintf
+      "bench: %d fault point(s) armed (GPRS_FAULT_POINTS?); refusing to \
+       measure a perturbed run@."
+      (Faults.Points.armed_count ());
+    Stdlib.exit 2
+  end;
   let jobs =
     if jobs = 0 then Analysis.Pool.available_jobs () else Stdlib.max 1 jobs
   in

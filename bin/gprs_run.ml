@@ -95,7 +95,8 @@ let run workload engine contexts scale seed rate grain ordering interval
     Stdlib.exit 2
   | `Run ->
     let result =
-      match engine with
+      try
+        match engine with
       | "pthreads" ->
         Exec.Baseline.run
           { Exec.Baseline.default_config with n_contexts = contexts; seed }
@@ -128,6 +129,16 @@ let run workload engine contexts scale seed rate grain ordering interval
           }
           program
       | other -> failwith (Printf.sprintf "unknown engine %S" other)
+      with
+      | Faults.Points.Fault_error msg ->
+        Format.eprintf "gprs_run: injected fault surfaced: %s@." msg;
+        Stdlib.exit 1
+      | Gprs.Engine.Crashed _ ->
+        Format.eprintf
+          "gprs_run: runtime crashed at an armed fault point \
+           (GPRS_FAULT_POINTS); use crashsweep/faultsweep to exercise \
+           recovery@.";
+        Stdlib.exit 1
     in
     Format.printf "workload   : %s (%s)@." workload spec.Workloads.Workload.pattern;
     Format.printf "engine     : %s, %d contexts, seed %d@." engine contexts seed;
@@ -270,7 +281,35 @@ let racecheck_run workload engine contexts scale grain seed json =
    boundary (or a seeded sample), ARIES-cold-recover, resume, and demand
    the fault-free digest. A P-CPR leg replays the same crash schedule
    restarting from its last committed global checkpoint. *)
-let crashsweep_run workload contexts scale seed sample schemes no_pcpr =
+(* Machine-readable sweep report: the normalized per-point signatures
+   (shared with faultsweep), no wall-clock fields, so the same sweep is
+   byte-identical across hosts. *)
+let leg_json (r : Recovery.leg_report) =
+  let module J = Server.Json in
+  J.Obj
+    [
+      ("leg", J.Str r.Recovery.leg);
+      ("points_total", J.Int r.Recovery.points_total);
+      ("points_run", J.Int r.Recovery.points_run);
+      ("ok", J.Bool (Recovery.leg_ok r));
+      ( "outcomes",
+        J.List
+          (List.map
+             (fun (p, sg) ->
+               J.Obj [ ("point", J.Int p); ("signature", J.Str sg) ])
+             r.Recovery.outcomes) );
+      ( "mismatches",
+        J.List
+          (List.map
+             (fun (p, msg) ->
+               J.Obj [ ("point", J.Int p); ("detail", J.Str msg) ])
+             r.Recovery.mismatches) );
+      ("replayed_lsns", J.Int r.Recovery.replayed_lsns);
+      ("redone_ops", J.Int r.Recovery.redone_ops);
+      ("squashed_subs", J.Int r.Recovery.squashed_subs);
+    ]
+
+let crashsweep_run workload contexts scale seed sample schemes no_pcpr json =
   let spec, program = build_workload workload contexts scale "default" in
   let digest = spec.Workloads.Workload.digest in
   let scheme_of = function
@@ -326,14 +365,31 @@ let crashsweep_run workload contexts scale seed sample schemes no_pcpr =
             ~crash_cycles:cycles program ]
     end
   in
-  Format.printf "crashsweep %s (scale %g, %d contexts, seed %d)@." workload
-    scale contexts seed;
-  List.iter (fun r -> Format.printf "%a@." Recovery.pp_report r) reports;
-  if not (List.for_all Recovery.leg_ok reports) then Stdlib.exit 1
+  let all_ok = List.for_all Recovery.leg_ok reports in
+  if json then begin
+    let module J = Server.Json in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [
+              ("workload", J.Str workload);
+              ("contexts", J.Int contexts);
+              ("scale", J.Float scale);
+              ("seed", J.Int seed);
+              ("legs", J.List (List.map leg_json reports));
+              ("ok", J.Bool all_ok);
+            ]))
+  end
+  else begin
+    Format.printf "crashsweep %s (scale %g, %d contexts, seed %d)@." workload
+      scale contexts seed;
+    List.iter (fun r -> Format.printf "%a@." Recovery.pp_report r) reports
+  end;
+  if not all_ok then Stdlib.exit 1
 
 (* --- serve subcommand ------------------------------------------------- *)
 
-let serve_run port sock jobs depth cache_cap idle_ms par_j =
+let serve_run port sock jobs depth cache_cap idle_ms par_j allow_fault =
   (match par_j with Some j -> Exec.Par.set_jobs j | None -> ());
   let addr =
     match sock with
@@ -348,6 +404,7 @@ let serve_run port sock jobs depth cache_cap idle_ms par_j =
         depth;
         cache_capacity = cache_cap;
         idle_quiesce_ms = idle_ms;
+        allow_fault;
       }
   in
   (match Server.Daemon.bound_addr d with
@@ -401,14 +458,14 @@ let verify_against_local scn reply =
                (Server.Json.int ~default:(-1) "sim_cycles" reply)))
          local.Server.Scenario.digest local.Server.Scenario.sim_cycles)
 
-let client_run port sock workload engine contexts scale seed rate grain
-    ordering interval count mix open_rps verify show_stats do_shutdown =
+let client_run port sock retries workload engine contexts scale seed rate
+    grain ordering interval count mix open_rps verify show_stats do_shutdown =
   let addr =
     match sock with
     | Some path -> Server.Daemon.Unix_sock path
     | None -> Server.Daemon.Tcp port
   in
-  let c = Server.Client.connect addr in
+  let c = Server.Client.connect ~retries addr in
   let failures = ref 0 in
   let base =
     scenario_base ~want_stats:false workload engine contexts scale seed rate
@@ -504,6 +561,51 @@ let client_run port sock workload engine contexts scale seed rate grain
   if do_shutdown then Server.Client.shutdown c;
   Server.Client.close c;
   if !failures > 0 then Stdlib.exit 1
+
+(* --- faultsweep subcommand -------------------------------------------- *)
+
+(* JSON scenario matrix over the named-fault-point space; the heavy
+   lifting lives in Faultsweep.run_matrix. Progress goes to stderr so
+   stdout stays pure results JSON when --out is omitted. *)
+let faultsweep_run matrix seed iters scenarios out quiet =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail msg =
+    Format.eprintf "gprs_run faultsweep: %s@." msg;
+    Stdlib.exit 2
+  in
+  let text = try read_file matrix with Sys_error e -> fail e in
+  let j =
+    match Server.Json.of_string text with
+    | Ok j -> j
+    | Error e -> fail (Printf.sprintf "%s: bad JSON: %s" matrix e)
+  in
+  let only =
+    if scenarios = "" then []
+    else
+      String.split_on_char ',' scenarios
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+  in
+  let log = if quiet then fun _ -> () else fun l -> Format.eprintf "%s@." l in
+  match Faultsweep.run_matrix ~only ~seed ~iters ~log j with
+  | Error msg -> fail msg
+  | Ok (results, ok) ->
+    let line = Server.Json.to_string results in
+    (match out with
+    | None -> print_endline line
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n'));
+    if not ok then Stdlib.exit 1
 
 (* --- terms ------------------------------------------------------------ *)
 
@@ -647,6 +749,14 @@ let no_pcpr =
   Arg.(value & flag
        & info [ "no-pcpr" ] ~doc:"Skip the P-CPR comparison leg.")
 
+let crashsweep_json =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:
+             "Emit one machine-readable JSON line — per-leg, per-crash-point \
+              normalized failure signatures (the faultsweep vocabulary) — \
+              instead of the ASCII report.")
+
 let crashsweep_cmd =
   let doc =
     "crash the whole runtime at every WAL-record boundary, cold-recover \
@@ -657,7 +767,7 @@ let crashsweep_cmd =
     (Cmd.info "crashsweep" ~doc)
     Term.(
       const crashsweep_run $ sweep_workload_pos $ contexts $ scale $ seed
-      $ crash_sample $ sweep_schemes $ no_pcpr)
+      $ crash_sample $ sweep_schemes $ no_pcpr $ crashsweep_json)
 
 let serve_port =
   Arg.(value & opt int 7477
@@ -696,6 +806,14 @@ let serve_idle_ms =
              "Join idle worker domains (request pool and speculative-window \
               workers) after this many ms without traffic; 0 disables.")
 
+let serve_allow_fault =
+  Arg.(value & flag
+       & info [ "allow-fault-injection" ]
+           ~doc:
+             "Serve the $(b,fault) protocol verb: arm/reset/inspect named \
+              fault points in the daemon process. Off by default — an armed \
+              point perturbs every request the process serves.")
+
 let serve_cmd =
   let doc =
     "persistent simulation daemon: newline-delimited JSON scenario \
@@ -706,7 +824,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ serve_port $ serve_sock $ serve_jobs $ serve_depth
-      $ serve_cache $ serve_idle_ms $ par_j)
+      $ serve_cache $ serve_idle_ms $ par_j $ serve_allow_fault)
 
 let client_port =
   Arg.(value & opt int 7477
@@ -719,6 +837,14 @@ let client_sock =
            ~doc:"Connect to the daemon's Unix-domain socket at $(docv) \
                  instead of TCP."
            ~docv:"PATH")
+
+let client_retries =
+  Arg.(value & opt int 3
+       & info [ "connect-retries" ]
+           ~doc:
+             "Re-attempts after a failed connect, with exponential backoff \
+              (50 ms doubling, 2 s cap) — lets a client start concurrently \
+              with its daemon instead of racing it with sleeps.")
 
 let client_count =
   Arg.(value & opt int 1
@@ -767,10 +893,60 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc)
     Term.(
-      const client_run $ client_port $ client_sock $ workload $ engine
-      $ contexts $ scale $ seed $ rate $ grain $ ordering $ interval
+      const client_run $ client_port $ client_sock $ client_retries $ workload
+      $ engine $ contexts $ scale $ seed $ rate $ grain $ ordering $ interval
       $ client_count $ client_mix $ client_open_loop $ client_verify
       $ client_stats $ client_shutdown)
+
+let fs_matrix =
+  Arg.(required & opt (some string) None
+       & info [ "matrix" ] ~docv:"FILE"
+           ~doc:"JSON scenario matrix (see README, Fault injection).")
+
+let fs_seed =
+  Arg.(value & opt int 0
+       & info [ "seed" ]
+           ~env:(Cmd.Env.info "GPRS_FAULTSWEEP_SEED")
+           ~doc:
+             "Seed offset added to every scenario's run seed; the same seed \
+              replays the sweep byte-for-byte.")
+
+let fs_iters =
+  Arg.(value & opt int 1
+       & info [ "iters" ]
+           ~env:(Cmd.Env.info "GPRS_FAULTSWEEP_ITERS")
+           ~doc:"Run each scenario N times at consecutive seed offsets.")
+
+let fs_scenarios =
+  Arg.(value & opt string ""
+       & info [ "scenarios" ]
+           ~env:(Cmd.Env.info "GPRS_FAULTSWEEP_SCENARIOS")
+           ~doc:
+             "Comma-separated scenario names to run (others skipped); a \
+              trigger-expanded row matches its base name too.")
+
+let fs_out =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the results JSON to $(docv) instead of stdout.")
+
+let fs_quiet =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"Suppress per-scenario progress lines.")
+
+let faultsweep_cmd =
+  let doc =
+    "run a JSON scenario matrix over the named fault points (point x \
+     action x trigger count x workload x engine x seed), classify every \
+     outcome into a normalized failure signature, and emit machine-readable \
+     results; exits 1 on wrong-digest / analysis-mismatch / arm-rejected, \
+     2 on a malformed matrix"
+  in
+  Cmd.v
+    (Cmd.info "faultsweep" ~doc)
+    Term.(
+      const faultsweep_run $ fs_matrix $ fs_seed $ fs_iters $ fs_scenarios
+      $ fs_out $ fs_quiet)
 
 let cmd =
   let doc =
@@ -797,6 +973,10 @@ let cmd =
           "crash at every WAL-record boundary, cold-recover, and require \
            the fault-free digest." );
       `I
+        ( "$(b,faultsweep)",
+          "run a JSON scenario matrix over the named fault points and \
+           classify every outcome into a normalized failure signature." );
+      `I
         ( "$(b,serve)",
           "persistent simulation daemon with cross-request program caching \
            and bounded admission (JSON lines over TCP / Unix socket)." );
@@ -808,6 +988,14 @@ let cmd =
   in
   Cmd.group ~default:run_term
     (Cmd.info "gprs_run" ~doc ~man)
-    [ run_cmd; lint_cmd; racecheck_cmd; crashsweep_cmd; serve_cmd; client_cmd ]
+    [
+      run_cmd;
+      lint_cmd;
+      racecheck_cmd;
+      crashsweep_cmd;
+      faultsweep_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
 let () = Stdlib.exit (Cmd.eval cmd)

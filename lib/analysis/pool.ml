@@ -127,6 +127,9 @@ let shared_worker sh () =
   loop ()
 
 let shared_submit sh task =
+  (* Fault seam: an injected error here models a task that could not be
+     queued; callers owning group bookkeeping must catch it. *)
+  Faults.Points.strike Faults.Points.Pool_submit;
   Mutex.lock sh.sh_mutex;
   Queue.push task sh.sh_queue;
   if sh.sh_quiescing then

@@ -98,6 +98,21 @@ let now eng = Exec.State.now eng.st
    run loop, where the durable remains of the machine are captured. *)
 exception Crash_signal
 
+(* Named fault-point seams (Faults.Points). Run-time seams decline to
+   fire while the engine is recovering — replayed work must not
+   re-trigger the fault that killed it; the armed crash-LSN hook has the
+   same guard. Recovery-side points (cold_restart, recovery_analysis,
+   recovery_redo, recovery_undo) have no such guard: recovery is exactly
+   when they are meant to fire. *)
+let fire_point eng p =
+  if not eng.recovering then
+    match Faults.Points.sample p with
+    | None | Some Faults.Points.Skip_fire -> ()
+    | Some Faults.Points.Crash_fire -> raise Crash_signal
+    | Some Faults.Points.Torn_fire ->
+      Wal.tear_stable eng.wal;
+      raise Crash_signal
+
 (* What survives a crash of the runtime. Volatile and gone: the scheduler
    queues, the ROL ring structure, the engine-side per-tid tables, every
    pending event, per-context assignments. Durable: the serialized WAL,
@@ -338,6 +353,9 @@ let grant eng tid =
   | Vm.Isa.Barrier { b } ->
     Subthread.add_alias (cur_sub eng tid) (Subthread.Barrier_obj b);
     let released, d = Exec.Sem.barrier_arrive st tcb b in
+    (* The arrival that completes the episode is the release seam. *)
+    if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then
+      fire_point eng Faults.Points.Barrier_release;
     add_delay eng tid d;
     if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then resume ~also:released ()
     else Order.set_eligible eng.order tid false
@@ -634,11 +652,15 @@ and dispatch_seq eng ctx (tcb : Vm.Tcb.t) =
         | None -> ());
         Exec.Sem.atomic_rmw st tcb ~var:v ~rmw ~dst
       | Vm.Isa.Unlock { m } ->
+        (* [Error] here models a lock-release/handoff timeout. *)
+        fire_point eng Faults.Points.Lock_handoff;
         let woken, d = Exec.Sem.unlock st tcb (m tcb.Vm.Tcb.regs) in
         tcb.Vm.Tcb.lock_depth <- tcb.Vm.Tcb.lock_depth - 1;
         (match woken with Some w -> wake [ w ] | None -> ());
         d
       | Vm.Isa.Alloc { size; dst } ->
+        (* [Error] here models allocator failure. *)
+        fire_point eng Faults.Points.Alloc_grant;
         let a, d = Exec.Sem.alloc st tcb ~size ~dst in
         let size = Option.get (Vm.Mem.block_size st.Exec.State.mem a) in
         (match cur_sub_opt eng tid with
@@ -683,6 +705,8 @@ and dispatch_seq eng ctx (tcb : Vm.Tcb.t) =
       | Vm.Isa.Barrier { b } ->
         (* Only reachable inside a CPR region. *)
         let released, d = Exec.Sem.barrier_arrive st tcb b in
+        if tcb.Vm.Tcb.wait = Vm.Tcb.Runnable then
+          fire_point eng Faults.Points.Barrier_release;
         wake released;
         d
       | Vm.Isa.Cond_wait { c; m } ->
@@ -862,7 +886,27 @@ let retire eng =
       let active =
         List.map (fun (s : Subthread.t) -> s.Subthread.id) (Rol.to_list eng.rol)
       in
-      Wal.log_checkpoint eng.wal ~min_retired ~active ~brk ~free ~used
+      (* Checkpoint fault seams: a skip at [begin] elides the whole
+         checkpoint (analysis falls back to the previous one); a skip at
+         [end] leaves a B record without its E — an incomplete
+         checkpoint analysis must refuse to use. [wal_fsync] models the
+         durability barrier after the pair; a torn write there loses the
+         tail of the E record. *)
+      let sample p =
+        if eng.recovering then None else Faults.Points.sample p
+      in
+      (match sample Faults.Points.Checkpoint_begin with
+      | Some Faults.Points.Skip_fire -> ()
+      | Some Faults.Points.Crash_fire -> raise Crash_signal
+      | Some Faults.Points.Torn_fire | None ->
+        Wal.log_checkpoint_begin eng.wal;
+        (match sample Faults.Points.Checkpoint_end with
+        | Some Faults.Points.Skip_fire -> ()
+        | Some Faults.Points.Crash_fire -> raise Crash_signal
+        | Some Faults.Points.Torn_fire | None ->
+          Wal.log_checkpoint_end eng.wal ~min_retired ~active ~brk ~free
+            ~used;
+          fire_point eng Faults.Points.Wal_fsync))
     end
   end
 
@@ -1456,6 +1500,7 @@ let run_loop eng =
    [Recovery_done] event has happened when it is handed back, so the
    caller can time recovery separately from re-execution. *)
 let cold_restart (d : crash_dump) ~redo ~loser_ops ~replayed ~next_sub =
+  Faults.Points.strike Faults.Points.Cold_restart;
   let st = d.d_st in
   let cfg = { d.d_cfg with crash_lsn = None; crash_cycle = None } in
   Sim.Event_queue.clear st.Exec.State.evq;
@@ -1468,6 +1513,10 @@ let cold_restart (d : crash_dump) ~redo ~loser_ops ~replayed ~next_sub =
   in
   eng.allow_crash <- false;
   install_hooks eng;
+  (* Armed points keep watching the restarted engine's WAL (the crash
+     LSN does not: it already fired). *)
+  Wal.set_on_append eng.wal
+    (Some (fun _lsn -> fire_point eng Faults.Points.Wal_append));
   let stats = st.Exec.State.stats in
   (* Restart points: the oldest in-flight sub-thread per thread. Threads
      with no in-flight sub-thread lost nothing — their last sub-thread
@@ -1486,6 +1535,7 @@ let cold_restart (d : crash_dump) ~redo ~loser_ops ~replayed ~next_sub =
   (* Undo, architectural half: replay the in-flight sub-threads'
      copy-on-write logs, newest sub-thread first (order agrees with
      chronology for conflicting accesses in race-free programs). *)
+  Faults.Points.strike Faults.Points.Recovery_undo;
   let words = ref 0 in
   let losers_desc =
     List.sort
@@ -1691,11 +1741,13 @@ let run ?(lint = `Warn) ?wal_out ?blocks cfg program =
   in
   install_hooks eng;
   boot_checkpoint eng;
-  (match cfg.crash_lsn with
-  | Some k ->
-    Wal.set_on_append eng.wal
-      (Some (fun lsn -> if lsn = k && not eng.recovering then raise Crash_signal))
-  | None -> ());
+  Wal.set_on_append eng.wal
+    (Some
+       (fun lsn ->
+         (match cfg.crash_lsn with
+         | Some k when lsn = k && not eng.recovering -> raise Crash_signal
+         | _ -> ());
+         fire_point eng Faults.Points.Wal_append));
   try
     (match cfg.crash_cycle with
     | Some t ->

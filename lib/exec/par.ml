@@ -950,12 +950,23 @@ let commit sopt (st : 'ev State.t) (tcb : Vm.Tcb.t) ~horizon ~delay ~instrs
     | None -> None
     | Some w ->
       Hashtbl.remove s.s_slots tcb.Vm.Tcb.tid;
+      (* Fault seam: a skipped commit discards the window and takes the
+         sequential fallback — bit-identical by construction, which is
+         exactly what the scenario driver pins. *)
+      let skip_commit =
+        match Faults.Points.sample Faults.Points.Window_commit with
+        | Some Faults.Points.Skip_fire -> true
+        | Some _ | None -> false
+      in
       if Atomic.compare_and_set w.w_state st_pending st_cancelled then begin
         pincr st "par.fallback";
         None
       end
       else begin
         match await w spin_polls with
+        | a when a = st_done && skip_commit ->
+          pincr st "par.fallback";
+          None
         | a when a = st_done ->
           (* The engine-pending delay may have moved since the lease (a
              work-steal fill charges the thief). It shifts every step's

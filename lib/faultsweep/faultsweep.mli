@@ -1,0 +1,53 @@
+(** The JSON scenario-matrix fault driver behind [gprs_run faultsweep].
+
+    A matrix file names scenarios over the fault space
+    (point × action × trigger count × workload × engine × seed); the
+    driver runs each one — one-shot against the engines in-process, or
+    through a private fault-enabled service daemon for the service-seam
+    points — and classifies the outcome into the normalized
+    {!Recovery.Signature} vocabulary: recovered-bit-identical,
+    refused-corrupt, refused-error, shed, hung-timeout, not-triggered,
+    or wrong-digest. Only wrong-digest (and a rejected arming) fails
+    the sweep: the precise-restart contract is "bit-identical or an
+    explicit refusal", never silent divergence.
+
+    Matrix schema (all scenario fields except [name] optional; absent
+    ones fall back to [defaults], then to the CLI run defaults):
+
+    {v
+    { "defaults": { "workload": "histogram", "engine": "gprs",
+                    "contexts": 8, "scale": 0.05, "seed": 1 },
+      "scenarios": [
+        { "name": "wal-append-crash",
+          "point": "wal_append", "action": "crash",
+          "triggers": [3, 25],          // expands to start=end=t rows
+          "workload": "histogram" },
+        { "name": "ckpt-window",
+          "arms": [                      // multi-point arming
+            { "point": "checkpoint_end", "action": "skip" },
+            { "point": "wal_append", "action": "crash", "start": 40 } ],
+          "via": "oneshot" },            // or "service"
+        ... ] }
+    v}
+
+    Determinism: with the same matrix and seed the results JSON is
+    byte-identical — it carries no wall-clock fields (hang detection is
+    a simulated-cycle budget derived from each scenario's fault-free
+    pilot, not a host timeout). *)
+
+val run_matrix :
+  ?only:string list ->
+  ?seed:int ->
+  ?iters:int ->
+  ?log:(string -> unit) ->
+  Server.Json.t ->
+  (Server.Json.t * bool, string) result
+(** Execute the matrix. [only] keeps scenarios whose name is listed
+    (post-expansion names match on their base name too); [seed]
+    (default 0) offsets every scenario's run seed — replaying a seed
+    reproduces the sweep byte-for-byte; [iters] (default 1) runs each
+    scenario that many times at consecutive seed offsets. [log] receives
+    one progress line per row. Returns the results JSON and an all-clear
+    flag ([false] when any row classified wrong-digest, analysis
+    mismatch, or had its arming rejected). [Error] on a malformed
+    matrix. *)

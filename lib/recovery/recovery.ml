@@ -25,6 +25,7 @@ type ckpt = {
 }
 
 let analyze image =
+  Faults.Points.strike Faults.Points.Recovery_analysis;
   let recs = Wal.parse_image image in
   (* Analysis pass: last complete checkpoint, retirement horizon, the
      drop set of live-squashed orders, and every op record in LSN order. *)
@@ -91,6 +92,7 @@ let analyze image =
      allocator action — their state lives in the durable TCBs or is
      rebuilt by the restart logic — but they count as redone work. *)
   let redo mem =
+    Faults.Points.strike Faults.Points.Recovery_redo;
     Vm.Mem.restore_alloc_parts mem ~brk:ckpt.c_brk ~free:ckpt.c_free
       ~used:ckpt.c_used;
     let n = ref 0 in
@@ -138,6 +140,25 @@ let recover ?(mangle = fun s -> s) dump =
   (a, recovery_s, resume)
 
 (* ------------------------------------------------------------------ *)
+(* Normalized failure signatures                                       *)
+
+(* The canonical outcome vocabulary shared by the crash sweep's --json
+   output and the faultsweep scenario driver: every exercised fault lands
+   in exactly one bucket, and only [wrong_digest] (or a sweep mismatch)
+   is a correctness failure — everything else is the system refusing,
+   shedding, or surviving bit-identically. *)
+module Signature = struct
+  let ok = "recovered-bit-identical"
+  let refused_corrupt = "refused-corrupt"
+  let refused_error = "refused-error"
+  let shed = "shed"
+  let hung = "hung-timeout"
+  let wrong_digest = "wrong-digest"
+  let not_triggered = "not-triggered"
+  let analysis_mismatch = "analysis-mismatch"
+end
+
+(* ------------------------------------------------------------------ *)
 (* Crash-consistency sweep                                             *)
 
 type leg_report = {
@@ -145,6 +166,7 @@ type leg_report = {
   points_total : int;
   points_run : int;
   mismatches : (int * string) list;
+  outcomes : (int * string) list;
   mean_recovery_s : float;
   max_recovery_s : float;
   replayed_lsns : int;
@@ -185,23 +207,30 @@ let sweep_gprs ?sample ?(sample_seed = 7) ~leg ~cfg ~digest program =
     | Some _ | None -> a0.points
   in
   let mismatches = ref [] in
-  let fail lsn msg = mismatches := (lsn, msg) :: !mismatches in
+  let outcomes = ref [] in
+  let fail lsn sg msg =
+    mismatches := (lsn, msg) :: !mismatches;
+    outcomes := (lsn, sg) :: !outcomes
+  in
+  let pass lsn = outcomes := (lsn, Signature.ok) :: !outcomes in
   let sum_s = ref 0.0 and max_s = ref 0.0 in
   let replayed = ref 0 and redone = ref 0 and squashed = ref 0 in
   List.iter
     (fun (lsn, _at) ->
       let cfg_c = { cfg with Gprs.Engine.crash_lsn = Some lsn } in
       match Gprs.Engine.run ~lint:`Off cfg_c program with
-      | _ -> fail lsn "crash point never fired"
+      | _ -> fail lsn Signature.not_triggered "crash point never fired"
       | exception Gprs.Engine.Crashed dump -> (
         match recover dump with
-        | exception Wal.Corrupt msg -> fail lsn ("corrupt WAL image: " ^ msg)
+        | exception Wal.Corrupt msg ->
+          fail lsn Signature.refused_corrupt ("corrupt WAL image: " ^ msg)
         | a, secs, resume ->
           sum_s := !sum_s +. secs;
           if secs > !max_s then max_s := secs;
           replayed := !replayed + a.replayed;
           if a.losers <> Gprs.Engine.dump_active_ids dump then
-            fail lsn "WAL analysis loser set <> live ROL at crash"
+            fail lsn Signature.analysis_mismatch
+              "WAL analysis loser set <> live ROL at crash"
           else begin
             let r = resume () in
             redone :=
@@ -209,11 +238,14 @@ let sweep_gprs ?sample ?(sample_seed = 7) ~leg ~cfg ~digest program =
             squashed :=
               !squashed
               + Sim.Stats.get r.Exec.State.run_stats "recovery.squashed_subs";
-            if r.Exec.State.dnc then fail lsn "recovered run did not complete"
+            if r.Exec.State.dnc then
+              fail lsn Signature.hung "recovered run did not complete"
             else begin
               let got = digest r in
               if not (String.equal got want) then
-                fail lsn (Printf.sprintf "digest %s, want %s" got want)
+                fail lsn Signature.wrong_digest
+                  (Printf.sprintf "digest %s, want %s" got want)
+              else pass lsn
             end
           end))
     chosen;
@@ -223,6 +255,7 @@ let sweep_gprs ?sample ?(sample_seed = 7) ~leg ~cfg ~digest program =
     points_total;
     points_run = n;
     mismatches = List.rev !mismatches;
+    outcomes = List.rev !outcomes;
     mean_recovery_s = (if n = 0 then 0.0 else !sum_s /. float_of_int n);
     max_recovery_s = !max_s;
     replayed_lsns = !replayed;
@@ -233,15 +266,21 @@ let sweep_gprs ?sample ?(sample_seed = 7) ~leg ~cfg ~digest program =
 let sweep_pcpr ~leg ~cfg ~digest ~crash_cycles program =
   let want = digest (Cpr.run { cfg with Cpr.crash_at = None } program) in
   let mismatches = ref [] in
+  let outcomes = ref [] in
   List.iter
     (fun c ->
       let r = Cpr.run { cfg with Cpr.crash_at = Some c } program in
-      if r.Exec.State.dnc then
-        mismatches := (c, "crashed run did not complete") :: !mismatches
+      if r.Exec.State.dnc then begin
+        mismatches := (c, "crashed run did not complete") :: !mismatches;
+        outcomes := (c, Signature.hung) :: !outcomes
+      end
       else begin
         let got = digest r in
-        if not (String.equal got want) then
-          mismatches := (c, Printf.sprintf "digest %s, want %s" got want) :: !mismatches
+        if not (String.equal got want) then begin
+          mismatches := (c, Printf.sprintf "digest %s, want %s" got want) :: !mismatches;
+          outcomes := (c, Signature.wrong_digest) :: !outcomes
+        end
+        else outcomes := (c, Signature.ok) :: !outcomes
       end)
     crash_cycles;
   {
@@ -249,6 +288,7 @@ let sweep_pcpr ~leg ~cfg ~digest ~crash_cycles program =
     points_total = List.length crash_cycles;
     points_run = List.length crash_cycles;
     mismatches = List.rev !mismatches;
+    outcomes = List.rev !outcomes;
     mean_recovery_s = 0.0;
     max_recovery_s = 0.0;
     replayed_lsns = 0;

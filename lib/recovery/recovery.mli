@@ -62,6 +62,39 @@ val recover :
     [mangle] corrupts the image before parsing — the negative-path hook
     for tests ([Wal.Corrupt] must surface, never a silent recovery). *)
 
+(** {2 Normalized failure signatures} *)
+
+(** The canonical outcome vocabulary shared by [crashsweep --json] and
+    the [faultsweep] scenario driver. Every exercised fault classifies
+    into exactly one signature; only {!Signature.wrong_digest} (or an
+    {!Signature.analysis_mismatch}) is a correctness failure — the rest
+    are the system surviving bit-identically or explicitly refusing. *)
+module Signature : sig
+  val ok : string
+  (** "recovered-bit-identical" *)
+
+  val refused_corrupt : string
+  (** recovery refused a damaged image *)
+
+  val refused_error : string
+  (** injected error surfaced to the caller *)
+
+  val shed : string
+  (** service refused admission *)
+
+  val hung : string
+  (** run or recovery did not complete in budget *)
+
+  val wrong_digest : string
+  (** silent divergence — always a failure *)
+
+  val not_triggered : string
+  (** armed fault never fired *)
+
+  val analysis_mismatch : string
+  (** WAL analysis disagreed with live crash state *)
+end
+
 (** {2 Crash-consistency sweep} *)
 
 type leg_report = {
@@ -70,6 +103,9 @@ type leg_report = {
   points_run : int;  (** points actually exercised (= total, or sample) *)
   mismatches : (int * string) list;
       (** (crash point, what went wrong); empty on success *)
+  outcomes : (int * string) list;
+      (** (crash point, {!Signature} string) for every point run, in
+          sweep order — the machine-readable view *)
   mean_recovery_s : float;  (** host seconds per cold recovery *)
   max_recovery_s : float;
   replayed_lsns : int;  (** summed over points *)

@@ -101,8 +101,14 @@ let rec find t ~key ~build =
     t.misses <- t.misses + 1;
     Hashtbl.replace t.tbl key Building;
     Mutex.unlock t.mutex;
-    let e =
-      try build ()
+    let fire, e =
+      try
+        (* Fault seam: an injected error is a failed build (the Building
+           slot is removed and waiters re-race, like any build error); a
+           skip builds the entry but never installs it, so the cache
+           stays cold. *)
+        let fire = Faults.Points.sample Faults.Points.Cache_insert in
+        (fire, build ())
       with ex ->
         Mutex.lock t.mutex;
         Hashtbl.remove t.tbl key;
@@ -110,10 +116,14 @@ let rec find t ~key ~build =
         Mutex.unlock t.mutex;
         raise ex
     in
+    let insert = fire <> Some Faults.Points.Skip_fire in
     Mutex.lock t.mutex;
-    Hashtbl.replace t.tbl key (Built e);
-    touch_locked t key;
-    evict_locked t;
+    if insert then begin
+      Hashtbl.replace t.tbl key (Built e);
+      touch_locked t key;
+      evict_locked t
+    end
+    else Hashtbl.remove t.tbl key;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
     (e, false)

@@ -50,11 +50,13 @@ let reader c inc () =
   in
   loop ()
 
-(* The daemon's accept thread may not be scheduled yet (tests and the
-   smoke script start it moments before connecting); retry briefly
-   instead of pushing the race to every caller. *)
-let connect ?(attempts = 40) addr =
-  let rec go n =
+(* The daemon may not be accepting yet (tests, the smoke script and CI
+   start it moments before connecting): retry the initial connect with
+   bounded exponential backoff — 50 ms doubling per attempt, capped at
+   2 s a step — instead of pushing the race to every caller. [retries]
+   is the number of re-attempts after the first failure. *)
+let connect ?(retries = 3) addr =
+  let rec go n delay =
     let fd =
       Unix.socket
         (match addr with Daemon.Tcp _ -> Unix.PF_INET | _ -> Unix.PF_UNIX)
@@ -64,13 +66,13 @@ let connect ?(attempts = 40) addr =
     | () -> fd
     | exception e ->
       (try Unix.close fd with _ -> ());
-      if n <= 1 then raise e
+      if n <= 0 then raise e
       else begin
-        Unix.sleepf 0.05;
-        go (n - 1)
+        Unix.sleepf delay;
+        go (n - 1) (Stdlib.min 2.0 (delay *. 2.))
       end
   in
-  let fd = go attempts in
+  let fd = go (Stdlib.max 0 retries) 0.05 in
   let c =
     {
       fd;
@@ -152,6 +154,9 @@ let ping c = ignore (op c (Json.Obj [ ("op", Json.Str "ping") ]))
 let stats c = op c (Json.Obj [ ("op", Json.Str "stats") ])
 let cache_clear c = ignore (op c (Json.Obj [ ("op", Json.Str "cache_clear") ]))
 let shutdown c = send c (Json.Obj [ ("op", Json.Str "shutdown") ])
+
+let fault c fields =
+  op c (Json.Obj (("op", Json.Str "fault") :: fields))
 
 (* --- scripted (closed-loop) driving ------------------------------------- *)
 

@@ -11,9 +11,11 @@ type t
 exception Closed
 (** The connection dropped while a caller was waiting. *)
 
-val connect : ?attempts:int -> Daemon.addr -> t
-(** Connect, retrying ([attempts] × 50 ms, default 40) while the daemon
-    is still coming up. *)
+val connect : ?retries:int -> Daemon.addr -> t
+(** Connect; on failure retry with bounded exponential backoff (50 ms
+    doubling per attempt, capped at 2 s a step). [retries] is the
+    number of re-attempts after the first failure, default 3 (≈ 0.35 s
+    of patience); raise it when the daemon races a cold start. *)
 
 val close : t -> unit
 
@@ -34,6 +36,11 @@ val cache_clear : t -> unit
 
 val shutdown : t -> unit
 (** Fire-and-forget: the daemon replies and then tears itself down. *)
+
+val fault : t -> (string * Json.t) list -> Json.t
+(** The ["fault"] op with the given extra fields (verb/point/fault/
+    start/end/delay_us); requires a daemon started with fault injection
+    allowed. *)
 
 val run_sync : t -> Scenario.t -> Json.t
 (** Submit one scenario and block for its final reply. *)

@@ -20,6 +20,7 @@ type config = {
   depth : int;  (* admission bound: queued-or-running groups *)
   cache_capacity : int;
   idle_quiesce_ms : int;  (* 0 disables both idle watchdogs *)
+  allow_fault : bool;  (* expose the fault-injection verb *)
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     depth = 64;
     cache_capacity = 32;
     idle_quiesce_ms = 200;
+    allow_fault = false;
   }
 
 (* --- connections -------------------------------------------------------- *)
@@ -261,12 +263,21 @@ let handle_run t conn j =
              ]);
         Mutex.unlock t.mutex
       | None ->
-        if t.inflight >= t.cfg.depth then begin
+        (* Fault seam: an injected error at admission sheds exactly like
+           a full queue (same 429 contract the client already handles). *)
+        let inj_shed =
+          match Faults.Points.sample Faults.Points.Admission_enqueue with
+          | exception Faults.Points.Fault_error _ -> true
+          | Some _ | None -> false
+        in
+        if inj_shed || t.inflight >= t.cfg.depth then begin
           (* bounded admission: shed rather than queue without limit *)
           t.n_shed <- t.n_shed + 1;
           Mutex.unlock t.mutex;
           send conn
-            (err_reply ~id:scn.Scenario.id 429 "admission queue full")
+            (err_reply ~id:scn.Scenario.id 429
+               (if inj_shed then "admission shed (injected fault)"
+                else "admission queue full"))
         end
         else begin
           let g = { g_scn = scn; g_waiters = [ w ] } in
@@ -280,7 +291,13 @@ let handle_run t conn j =
                  ("event", Json.Str "queued");
                  ("coalesced", Json.Bool false);
                ]);
-          Analysis.Pool.shared_submit t.pool (exec_group t key g)
+          match Analysis.Pool.shared_submit t.pool (exec_group t key g) with
+          | () -> ()
+          | exception Faults.Points.Fault_error msg ->
+            (* the group was registered above; retire it or the slot
+               leaks and its waiters hang *)
+            group_finished t key (fun ~id ->
+                err_reply ~id 500 ("pool submit failed: " ^ msg))
         end)
 
 let handle_sleep t conn j =
@@ -299,15 +316,24 @@ let handle_sleep t conn j =
       (Json.Obj
          [ ("id", Json.Str id); ("event", Json.Str "queued");
            ("coalesced", Json.Bool false) ]);
-    Analysis.Pool.shared_submit t.pool (fun () ->
-        Unix.sleepf (float_of_int ms /. 1000.);
-        Mutex.lock t.mutex;
-        t.inflight <- t.inflight - 1;
-        t.n_served <- t.n_served + 1;
-        t.last_done <- Unix.gettimeofday ();
-        Mutex.unlock t.mutex;
-        send conn
-          (Json.Obj [ ("id", Json.Str id); ("event", Json.Str "done") ]))
+    match
+      Analysis.Pool.shared_submit t.pool (fun () ->
+          Unix.sleepf (float_of_int ms /. 1000.);
+          Mutex.lock t.mutex;
+          t.inflight <- t.inflight - 1;
+          t.n_served <- t.n_served + 1;
+          t.last_done <- Unix.gettimeofday ();
+          Mutex.unlock t.mutex;
+          send conn
+            (Json.Obj [ ("id", Json.Str id); ("event", Json.Str "done") ]))
+    with
+    | () -> ()
+    | exception Faults.Points.Fault_error msg ->
+      Mutex.lock t.mutex;
+      t.inflight <- t.inflight - 1;
+      t.last_done <- Unix.gettimeofday ();
+      Mutex.unlock t.mutex;
+      send conn (err_reply ~id 500 ("pool submit failed: " ^ msg))
   end
 
 let stats_json t =
@@ -336,6 +362,7 @@ let stats_json t =
             ("misses", Json.Int c.Cache.misses);
             ("evictions", Json.Int c.Cache.evictions);
           ] );
+      ("fault_points", Json.Int (Faults.Points.armed_count ()));
       ("pool_workers", Json.Int (Analysis.Pool.shared_workers t.pool));
       ("pool_pending", Json.Int (Analysis.Pool.shared_pending t.pool));
       ("par_workers", Json.Int (Exec.Par.workers_live ()));
@@ -344,6 +371,96 @@ let stats_json t =
       ("depth", Json.Int t.cfg.depth);
       ("leg", Leg.to_json t.leg);
     ]
+
+(* --- fault-injection verb ----------------------------------------------- *)
+
+(* Arming/status for Faults.Points over the wire, so a client can drive
+   fault scenarios against a live daemon. Gated behind
+   [serve --allow-fault-injection]: arming a point perturbs every
+   request in the process, which no multi-tenant daemon should allow by
+   accident. *)
+
+let fault_points_json () =
+  Json.List
+    (List.map
+       (fun (st : Faults.Points.status) ->
+         Json.Obj
+           [
+             ("point", Json.Str (Faults.Points.to_name st.Faults.Points.s_point));
+             ( "action",
+               match st.Faults.Points.s_action with
+               | Some a -> Json.Str (Faults.Points.action_name a)
+               | None -> Json.Null );
+             ("start", Json.Int st.Faults.Points.s_start);
+             ( "end",
+               if st.Faults.Points.s_end = max_int then Json.Null
+               else Json.Int st.Faults.Points.s_end );
+             ("delay_us", Json.Int st.Faults.Points.s_delay_us);
+             ("hits", Json.Int st.Faults.Points.s_hits);
+             ("fires", Json.Int st.Faults.Points.s_fires);
+           ])
+       (Faults.Points.status_all ()))
+
+let fault_reply ~id =
+  Json.Obj
+    [
+      ("id", Json.Str id);
+      ("event", Json.Str "fault");
+      ("points", fault_points_json ());
+    ]
+
+let handle_fault t conn j =
+  let id = Result.value ~default:"" (Json.str ~default:"" "id" j) in
+  if not t.cfg.allow_fault then
+    send conn
+      (err_reply ~id 403
+         "fault injection disabled (start the daemon with \
+          --allow-fault-injection)")
+  else
+    let point () =
+      match Json.str "point" j with
+      | Error msg -> Error msg
+      | Ok name -> (
+        match Faults.Points.of_name name with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "unknown fault point %S" name))
+    in
+    match Result.value ~default:"" (Json.str ~default:"" "verb" j) with
+    | "status" -> send conn (fault_reply ~id)
+    | "reset_all" ->
+      Faults.Points.reset_all ();
+      send conn (fault_reply ~id)
+    | "reset" | "disarm" -> (
+      match point () with
+      | Error msg -> send conn (err_reply ~id 400 msg)
+      | Ok p ->
+        Faults.Points.reset p;
+        send conn (fault_reply ~id))
+    | "arm" -> (
+      match (point (), Json.str "fault" j) with
+      | Error msg, _ | _, Error msg -> send conn (err_reply ~id 400 msg)
+      | Ok p, Ok aname -> (
+        match Faults.Points.action_of_name aname with
+        | None ->
+          send conn
+            (err_reply ~id 400 (Printf.sprintf "unknown action %S" aname))
+        | Some a -> (
+          let get k d = Result.value ~default:d (Json.int ~default:d k j) in
+          let start_hit = get "start" 1 in
+          let end_hit =
+            match Json.member "end" j with
+            | Some (Json.Int e) -> e
+            | _ -> max_int
+          in
+          let delay_us = get "delay_us" 50 in
+          match Faults.Points.arm ~start_hit ~end_hit ~delay_us p a with
+          | Ok () -> send conn (fault_reply ~id)
+          | Error msg -> send conn (err_reply ~id 400 msg))))
+    | v ->
+      send conn
+        (err_reply ~id 400
+           (Printf.sprintf
+              "unknown fault verb %S (arm|disarm|reset|reset_all|status)" v))
 
 (* forward ref: [stop] is defined after the reader that may trigger it *)
 let stop_ref : (t -> unit) ref = ref (fun _ -> ())
@@ -360,6 +477,7 @@ let handle_line t conn line =
       Cache.clear t.cache;
       send conn (Json.Obj [ ("event", Json.Str "cache_cleared") ])
     | "sleep" -> handle_sleep t conn j
+    | "fault" -> handle_fault t conn j
     | "shutdown" ->
       send conn (Json.Obj [ ("event", Json.Str "shutting_down") ]);
       ignore (Thread.create (fun () -> !stop_ref t) ())

@@ -14,7 +14,9 @@
     ["queued"]/["start"] progress events and a final ["done"] carrying
     digest/cycles/stats, or ["error"] with a code), ["ping"],
     ["stats"], ["cache_clear"], ["sleep"] (occupies a pool worker; test
-    and admission-probe helper), ["shutdown"]. *)
+    and admission-probe helper), ["fault"] (arm/reset/inspect named
+    {!Faults.Points} fault points; gated behind
+    [config.allow_fault]), ["shutdown"]. *)
 
 type addr = Tcp of int | Unix_sock of string
 (** TCP binds loopback only; [Tcp 0] picks an ephemeral port (see
@@ -28,11 +30,15 @@ type config = {
   idle_quiesce_ms : int;
       (** join pool + speculative-window domains after this much idle
           time (0 disables both idle watchdogs) *)
+  allow_fault : bool;
+      (** serve the ["fault"] verb ([serve --allow-fault-injection]);
+          off by default — an armed point perturbs every request in the
+          process *)
 }
 
 val default_config : config
 (** Ephemeral loopback TCP, 1 job, depth 64, 32 cache entries, 200 ms
-    idle quiesce. *)
+    idle quiesce, fault injection disabled. *)
 
 type t
 

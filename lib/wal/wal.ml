@@ -142,10 +142,15 @@ let prune_below t ~order =
 let redo_start t =
   List.fold_left (fun acc e -> min acc e.lsn) t.next_lsn t.entries
 
-let log_checkpoint t ~min_retired ~active ~brk ~free ~used =
+(* Split begin/end so the engine can expose the B→E window as two fault
+   points: a crash landing between them leaves a B without its E, which
+   analysis must treat as "checkpoint did not complete". *)
+let log_checkpoint_begin t =
+  if t.stable <> None then emit t (Printf.sprintf "B %d" t.next_lsn)
+
+let log_checkpoint_end t ~min_retired ~active ~brk ~free ~used =
   if t.stable <> None then begin
     let lsn = t.next_lsn in
-    emit t (Printf.sprintf "B %d" lsn);
     let ints l = if l = [] then "-" else String.concat "," (List.map string_of_int l) in
     let blocks l =
       if l = [] then "-"
@@ -155,6 +160,32 @@ let log_checkpoint t ~min_retired ~active ~brk ~free ~used =
       (Printf.sprintf "E %d %d %d %s %d %s %s" lsn min_retired (redo_start t)
          (ints active) brk (blocks free) (blocks used))
   end
+
+let log_checkpoint t ~min_retired ~active ~brk ~free ~used =
+  log_checkpoint_begin t;
+  log_checkpoint_end t ~min_retired ~active ~brk ~free ~used
+
+(* Torn-write injection: cut the stable image mid-way through its final
+   record, the on-disk shape of a write that lost power half-done. At
+   least one byte of the final line survives, so the cut never lands on
+   a record boundary — parse_image must see it and refuse. *)
+let tear_stable t =
+  match t.stable with
+  | None -> ()
+  | Some buf ->
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    if n >= 2 then begin
+      let line_start =
+        match String.rindex_from_opt s (n - 2) '\n' with
+        | Some j -> j + 1
+        | None -> 0
+      in
+      let keep = line_start + Stdlib.max 1 ((n - 1 - line_start) / 2) in
+      let torn = String.sub s 0 keep in
+      Buffer.clear buf;
+      Buffer.add_string buf torn
+    end
 
 let stable_image t = Option.map Buffer.contents t.stable
 

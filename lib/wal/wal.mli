@@ -86,6 +86,26 @@ val log_checkpoint :
     the redo-scan start LSN — the oldest LSN still held by a live entry —
     so recovery does not rescan the full log. No-op on volatile logs. *)
 
+val log_checkpoint_begin : t -> unit
+(** The B record alone; with {!log_checkpoint_end} this is
+    {!log_checkpoint} split at the fault seam between the two records. *)
+
+val log_checkpoint_end :
+  t ->
+  min_retired:int ->
+  active:int list ->
+  brk:int ->
+  free:(int * int) list ->
+  used:(int * int) list ->
+  unit
+(** The E record alone. *)
+
+val tear_stable : t -> unit
+(** Fault injection: truncate the stable image mid-way through its final
+    record — a torn write. Keeps at least one byte of the final line so
+    the damage never coincides with a record boundary; {!parse_image}
+    over the result raises {!Corrupt}. No-op on volatile logs. *)
+
 val stable_image : t -> string option
 (** The serialized log so far; [None] if not created [~stable:true]. *)
 

@@ -22,5 +22,6 @@ let () =
       ("race", Test_race.suite);
       ("par", Test_par.suite);
       ("service", Test_service.suite);
+      ("points", Test_points.suite);
       ("properties", Props.suite);
     ]
